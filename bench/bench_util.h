@@ -1,0 +1,131 @@
+#ifndef SUBEX_BENCH_BENCH_UTIL_H_
+#define SUBEX_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the figure/table regeneration binaries: command-line
+// profile selection, suite assembly, and cost-based cell skipping (the
+// paper itself skipped configurations requiring millions of subspace
+// evaluations; the quick profile skips proportionally earlier).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "subex/subex.h"
+
+namespace subex::bench {
+
+/// Parses `--full` (paper profile) / `--seed N` from argv; everything else
+/// is ignored. Prints the chosen profile banner.
+inline TestbedProfile ParseProfile(int argc, char** argv,
+                                   const char* binary_name) {
+  TestbedProfile profile = TestbedProfile::Quick();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      profile = TestbedProfile::Paper();
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      profile.seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  std::printf("== %s ==\n", binary_name);
+  std::printf(
+      "profile: %s (datasets scaled x%.2f, max dataset dim %d, "
+      "max explanation dim %d%s)\n",
+      profile.name.c_str(), profile.dataset_scale, profile.max_dataset_dim,
+      profile.max_explanation_dim,
+      profile.name == "quick"
+          ? "; run with --full for the paper-scale configuration"
+          : "");
+  return profile;
+}
+
+/// Per-detector budget of detector invocations (subspace scorings) a single
+/// evaluation cell may cost before the bench skips it, mirroring the
+/// paper's own skipped configurations. The quick profile uses tight
+/// budgets; the paper profile uses the (approximate) limits §4.1/§4.2
+/// report (e.g. "we run iForest only up to 4d explanations on 70d/100d").
+inline std::uint64_t ScoreBudget(const TestbedProfile& profile,
+                                 DetectorKind kind) {
+  const bool quick = profile.name == "quick";
+  switch (kind) {
+    case DetectorKind::kLof:
+      return quick ? 20000 : 3000000;
+    case DetectorKind::kFastAbod:
+      return quick ? 10000 : 400000;
+    case DetectorKind::kIsolationForest:
+      return quick ? 5000 : 900000;
+  }
+  return 0;
+}
+
+/// Estimated detector invocations of one point-explainer cell.
+inline std::uint64_t EstimatePointCellScores(
+    const TestbedProfile& profile, PointExplainerKind kind, int num_features,
+    int dim, int num_points) {
+  std::uint64_t per_point = 0;
+  if (kind == PointExplainerKind::kBeam) {
+    per_point = Beam::CountScoredSubspaces(num_features, dim,
+                                           profile.beam_width);
+  } else {
+    per_point = static_cast<std::uint64_t>(profile.refout_pool_size) +
+                static_cast<std::uint64_t>(profile.max_results);
+  }
+  return per_point * static_cast<std::uint64_t>(num_points);
+}
+
+/// Estimated detector invocations of one summarizer cell.
+inline std::uint64_t EstimateSummaryCellScores(const TestbedProfile& profile,
+                                               SummarizerKind kind,
+                                               int num_features, int dim) {
+  if (kind == SummarizerKind::kHics) {
+    // The search is detector-free; only the final ranking scores.
+    return profile.max_results;
+  }
+  std::uint64_t candidates = CombinationCount(num_features, dim);
+  if (profile.lookout_max_candidates > 0 &&
+      candidates > profile.lookout_max_candidates) {
+    candidates = profile.lookout_max_candidates;
+  }
+  return candidates;
+}
+
+/// Number of evaluated points for a point-explainer cell under the profile.
+inline int CellPoints(const TestbedProfile& profile,
+                      const GroundTruth& ground_truth, int dim) {
+  const int available =
+      static_cast<int>(ground_truth.PointsExplainedAtDimension(dim).size());
+  if (profile.max_points_per_cell <= 0) return available;
+  return std::min(available, profile.max_points_per_cell);
+}
+
+/// Builds both halves of the testbed, printing progress (the real-suite
+/// ground-truth search is the slow part).
+inline std::vector<TestbedDataset> BuildFullTestbed(
+    const TestbedProfile& profile, bool synthetic, bool real) {
+  std::vector<TestbedDataset> all;
+  if (synthetic) {
+    std::printf("generating synthetic (subspace-outlier) suite...\n");
+    for (TestbedDataset& d : BuildSyntheticSuite(profile)) {
+      all.push_back(std::move(d));
+    }
+  }
+  if (real) {
+    std::printf(
+        "generating real-dataset stand-ins + exhaustive LOF ground truth "
+        "(the paper's §3.2 procedure)...\n");
+    for (TestbedDataset& d : BuildRealSuite(profile)) {
+      all.push_back(std::move(d));
+    }
+  }
+  std::printf("\n");
+  return all;
+}
+
+/// "MAP 0.83" or "skip" formatting for figure tables.
+inline std::string MapOrSkip(bool skipped, double map) {
+  return skipped ? std::string("-") : FormatDouble(map);
+}
+
+}  // namespace subex::bench
+
+#endif  // SUBEX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,57 @@
+// Group explanation (the paper's §6 pointer to characterizing subspace
+// rules): instead of one summary for all outliers — which the paper shows
+// degrades when different outliers are explained by disjoint feature
+// subsets — partition the outliers into groups that share explaining
+// subspaces and characterize each group.
+//
+// Run: ./group_explanation [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "subex/subex.h"
+
+int main(int argc, char** argv) {
+  using namespace subex;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 57;
+
+  HicsGeneratorConfig config;
+  config.num_points = 400;
+  config.subspace_dims = {2, 2, 3};
+  config.seed = seed;
+  const SyntheticDataset d = GenerateHicsDataset(config);
+  std::printf("dataset: %zu points, %zu features, %zu outliers in %zu "
+              "disjoint relevant subspaces\n\n",
+              d.dataset.num_points(), d.dataset.num_features(),
+              d.dataset.outlier_indices().size(),
+              d.relevant_subspaces.size());
+
+  const Lof lof(15);
+  Beam::Options beam_options;
+  beam_options.beam_width = 15;
+  const Beam beam(beam_options);
+
+  for (int dim : {2, 3}) {
+    const std::vector<OutlierGroup> groups = GroupAndCharacterize(
+        d.dataset, lof, beam, d.dataset.outlier_indices(), dim);
+    std::printf("=== %dd group explanations (%zu groups) ===\n", dim,
+                groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      std::printf("group %zu (%zu points:", g + 1, groups[g].points.size());
+      for (int p : groups[g].points) std::printf(" %d", p);
+      std::printf(") characterized by");
+      for (const Subspace& s : groups[g].characterizing_subspaces) {
+        std::printf(" %s", s.ToString().c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf("planted structure for reference:");
+  for (const Subspace& s : d.relevant_subspaces) {
+    std::printf(" %s", s.ToString().c_str());
+  }
+  std::printf(" (5 outliers each)\n");
+  return 0;
+}

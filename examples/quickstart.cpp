@@ -1,0 +1,51 @@
+// Quickstart: detect-then-explain on the 3-dimensional Figure 1 dataset.
+//
+// The paper's motivating example: point o1 looks mildly unusual in the full
+// space, point o2 looks perfectly normal -- but each deviates strongly in a
+// specific 2-dimensional feature subspace. This example generates that
+// dataset, scores it with LOF, and asks the Beam explainer *why* each point
+// is outlying.
+//
+// Run: ./quickstart
+
+#include <cstdio>
+
+#include "subex/subex.h"
+
+int main() {
+  using namespace subex;
+
+  // 1. A dataset with two planted outliers (point 0 = o1, point 1 = o2).
+  const SyntheticDataset example = GenerateFigure1Dataset(/*seed=*/42,
+                                                          /*num_points=*/300);
+  const Dataset& data = example.dataset;
+  std::printf("dataset: %zu points x %zu features, %zu points of interest\n\n",
+              data.num_points(), data.num_features(),
+              data.outlier_indices().size());
+
+  // 2. Detection: LOF in the full space barely separates o2 from inliers --
+  //    that is exactly why subspace explanations are needed.
+  const Lof lof(15);
+  const std::vector<double> full_space = ScoreStandardized(lof, data,
+                                                           Subspace());
+  std::printf("full-space standardized LOF scores: o1=%.2f  o2=%.2f\n",
+              full_space[0], full_space[1]);
+
+  // 3. Explanation: rank the 2d subspaces that explain each point.
+  const Beam beam;  // Beam_FX with the paper's defaults.
+  for (int point : data.outlier_indices()) {
+    const RankedSubspaces ranked = beam.Explain(data, lof, point, 2);
+    std::printf("\ntop subspaces explaining point %d:\n", point);
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, ranked.size());
+         ++i) {
+      std::printf("  #%zu %-10s standardized score %.2f\n", i + 1,
+                  ranked.subspaces[i].ToString().c_str(), ranked.scores[i]);
+    }
+    const auto& truth = example.ground_truth.RelevantFor(point);
+    std::printf("  ground truth: %s -> %s\n",
+                truth.front().ToString().c_str(),
+                ranked.subspaces.front() == truth.front() ? "recovered"
+                                                          : "missed");
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Stream monitoring (the paper's §6 outlook, implemented): a drifting
+// point stream is summarized chunk by chunk, demonstrating the paper's
+// conclusion that subspace explanations are *descriptive* — they describe
+// the current batch and must be recomputed per batch; a frozen summary
+// dies at the first concept drift.
+//
+// Run: ./stream_monitoring [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "subex/subex.h"
+
+int main(int argc, char** argv) {
+  using namespace subex;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 3;
+
+  DriftingStreamConfig config;
+  config.chunk_size = 250;
+  config.outliers_per_chunk = 6;
+  config.drift_every_chunks = 3;
+  config.subspace_dims = {2, 3};
+  config.seed = seed;
+  DriftingStreamGenerator stream(config);
+  std::printf("stream: %d features, chunks of %d points, concept drift "
+              "every %d chunks\n\n",
+              stream.num_features(), config.chunk_size,
+              config.drift_every_chunks);
+
+  const Lof lof(15);
+  LookOut::Options lookout_options;
+  lookout_options.budget = 5;
+  const LookOut lookout(lookout_options);
+
+  const std::vector<StreamingChunkResult> results =
+      RunStreamingSummarization(stream, lof, lookout, 9, 2);
+
+  TextTable table;
+  table.SetHeader({"chunk", "concept", "points@2d", "MAP recomputed",
+                   "MAP frozen", "recompute time"});
+  for (const StreamingChunkResult& r : results) {
+    table.AddRow({std::to_string(r.chunk_index),
+                  std::to_string(r.concept_epoch),
+                  std::to_string(r.num_points),
+                  FormatDouble(r.map_recomputed),
+                  FormatDouble(r.map_stale),
+                  FormatSeconds(r.seconds_recompute)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "the frozen summary (computed on chunk 0) explains chunks of concept\n"
+      "0 but collapses once the concept drifts; recomputing per chunk\n"
+      "recovers -- \"explanation tasks should be re-executed for every new\n"
+      "bunch of data\" (paper, section 6).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#ifndef SUBEX_COMMON_CHECK_H_
+#define SUBEX_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Lightweight precondition / invariant assertion macros.
+///
+/// `SUBEX_CHECK` is always on (including release builds): the library uses it
+/// to guard API contracts whose violation would otherwise corrupt results
+/// silently. A failed check prints the condition with its source location and
+/// aborts. `SUBEX_DCHECK` compiles away in NDEBUG builds and is used for
+/// hot-loop internal invariants.
+
+#define SUBEX_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SUBEX_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define SUBEX_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SUBEX_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                               \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define SUBEX_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define SUBEX_DCHECK(cond) SUBEX_CHECK(cond)
+#endif
+
+#endif  // SUBEX_COMMON_CHECK_H_

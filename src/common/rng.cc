@@ -1,0 +1,24 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+namespace subex {
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  SUBEX_CHECK(k >= 0 && k <= n);
+  // Floyd's algorithm: O(k) expected insertions, no O(n) scratch.
+  std::vector<int> chosen;
+  chosen.reserve(k);
+  for (int j = n - k; j < n; ++j) {
+    const int t = UniformInt(0, j);
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace subex

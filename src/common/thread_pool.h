@@ -1,0 +1,63 @@
+#ifndef SUBEX_COMMON_THREAD_POOL_H_
+#define SUBEX_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace subex {
+
+/// Fixed-size worker pool for data-parallel experiment loops.
+///
+/// The explainer benchmarks score thousands of independent subspaces; the
+/// pool lets pipelines fan those out without spawning a thread per task.
+/// On single-core machines (`num_threads == 1` or `0`) `ParallelFor` degrades
+/// to a plain sequential loop with zero synchronization overhead.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers. `0` means
+  /// `std::thread::hardware_concurrency()`.
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs `body(i)` for every `i` in `[0, count)`, blocking until all
+  /// iterations complete. Iterations are distributed dynamically so uneven
+  /// per-iteration cost (e.g. subspaces of different dimensionality) balances
+  /// out. `body` must be safe to call concurrently.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_COMMON_THREAD_POOL_H_

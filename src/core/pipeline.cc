@@ -1,0 +1,92 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/metrics.h"
+
+namespace subex {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<int> SelectPoints(const GroundTruth& ground_truth, int dim,
+                              const PipelineOptions& options) {
+  std::vector<int> points = ground_truth.PointsExplainedAtDimension(dim);
+  if (options.max_points > 0 &&
+      static_cast<int>(points.size()) > options.max_points) {
+    Rng rng(options.subsample_seed);
+    rng.Shuffle(points);
+    points.resize(options.max_points);
+    std::sort(points.begin(), points.end());
+  }
+  return points;
+}
+
+}  // namespace
+
+PipelineResult RunPointExplanationPipeline(
+    const Dataset& data, const GroundTruth& ground_truth,
+    const Detector& detector, const PointExplainer& explainer,
+    int explanation_dim, const PipelineOptions& options) {
+  PipelineResult result;
+  result.detector_name = detector.name();
+  result.explainer_name = explainer.name();
+  result.explanation_dim = explanation_dim;
+
+  const GroundTruth at_dim = ground_truth.FilterByDimension(explanation_dim);
+  const std::vector<int> points = SelectPoints(ground_truth, explanation_dim,
+                                               options);
+  ExplanationScorer scorer;
+  const auto start = Clock::now();
+  for (int p : points) {
+    const RankedSubspaces ranked =
+        explainer.Explain(data, detector, p, explanation_dim);
+    scorer.AddPoint(ranked.subspaces, at_dim.RelevantFor(p));
+  }
+  result.seconds = SecondsSince(start);
+  result.map = scorer.MeanAveragePrecision();
+  result.mean_recall = scorer.MeanRecall();
+  result.num_points = scorer.num_points();
+  return result;
+}
+
+PipelineResult RunSummarizationPipeline(
+    const Dataset& data, const GroundTruth& ground_truth,
+    const Detector& detector, const Summarizer& summarizer,
+    int explanation_dim, const PipelineOptions& options) {
+  PipelineResult result;
+  result.detector_name = detector.name();
+  result.explainer_name = summarizer.name();
+  result.explanation_dim = explanation_dim;
+
+  // The summarizer receives the full point-of-interest set (Figure 7);
+  // evaluation happens only on the points explained at this dimensionality.
+  const std::vector<int>& all_points = data.outlier_indices();
+  SUBEX_CHECK_MSG(!all_points.empty(), "dataset has no points of interest");
+
+  const auto start = Clock::now();
+  const RankedSubspaces summary =
+      summarizer.Summarize(data, detector, all_points, explanation_dim);
+  result.seconds = SecondsSince(start);
+
+  const GroundTruth at_dim = ground_truth.FilterByDimension(explanation_dim);
+  const std::vector<int> points = SelectPoints(ground_truth, explanation_dim,
+                                               options);
+  ExplanationScorer scorer;
+  for (int p : points) {
+    scorer.AddPoint(summary.subspaces, at_dim.RelevantFor(p));
+  }
+  result.map = scorer.MeanAveragePrecision();
+  result.mean_recall = scorer.MeanRecall();
+  result.num_points = scorer.num_points();
+  return result;
+}
+
+}  // namespace subex

@@ -1,0 +1,36 @@
+#ifndef SUBEX_CORE_REPORT_H_
+#define SUBEX_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace subex {
+
+/// Minimal fixed-width ASCII table builder for the benchmark binaries that
+/// regenerate the paper's tables and figures on stdout.
+class TextTable {
+ public:
+  /// Sets the column headers (defines the column count).
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a row; its width must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with aligned columns, a header separator, and one row per
+  /// line.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `decimals` fraction digits ("0.83").
+std::string FormatDouble(double value, int decimals = 2);
+
+/// Formats seconds adaptively ("870ms", "12.3s").
+std::string FormatSeconds(double seconds);
+
+}  // namespace subex
+
+#endif  // SUBEX_CORE_REPORT_H_

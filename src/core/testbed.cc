@@ -1,0 +1,178 @@
+#include "core/testbed.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/ground_truth_builder.h"
+#include "detect/fast_abod.h"
+#include "detect/isolation_forest.h"
+#include "detect/lof.h"
+#include "explain/beam.h"
+#include "explain/hics.h"
+#include "explain/lookout.h"
+#include "explain/refout.h"
+
+namespace subex {
+
+const char* PointExplainerKindName(PointExplainerKind kind) {
+  switch (kind) {
+    case PointExplainerKind::kBeam:
+      return "Beam";
+    case PointExplainerKind::kRefOut:
+      return "RefOut";
+  }
+  return "unknown";
+}
+
+const char* SummarizerKindName(SummarizerKind kind) {
+  switch (kind) {
+    case SummarizerKind::kLookOut:
+      return "LookOut";
+    case SummarizerKind::kHics:
+      return "HiCS";
+  }
+  return "unknown";
+}
+
+TestbedProfile TestbedProfile::Quick() { return TestbedProfile{}; }
+
+TestbedProfile TestbedProfile::Paper() {
+  TestbedProfile p;
+  p.name = "paper";
+  p.dataset_scale = 1.0;
+  p.max_dataset_dim = 100;
+  p.max_explanation_dim = 5;
+  p.max_points_per_cell = 0;
+  p.beam_width = 100;
+  p.refout_pool_size = 100;
+  p.lookout_budget = 100;
+  p.lookout_max_candidates = 0;  // Exhaustive.
+  p.hics_candidate_cutoff = 400;
+  p.hics_mc_iterations = 100;
+  p.max_results = 100;
+  p.iforest_trees = 100;
+  p.iforest_repetitions = 10;
+  return p;
+}
+
+std::unique_ptr<Detector> MakeTestbedDetector(DetectorKind kind,
+                                              const TestbedProfile& profile) {
+  switch (kind) {
+    case DetectorKind::kLof:
+      return std::make_unique<Lof>(15);
+    case DetectorKind::kFastAbod:
+      return std::make_unique<FastAbod>(10);
+    case DetectorKind::kIsolationForest: {
+      IsolationForest::Options options;
+      options.num_trees = profile.iforest_trees;
+      options.subsample_size = 256;
+      options.num_repetitions = profile.iforest_repetitions;
+      options.seed = profile.seed;
+      return std::make_unique<IsolationForest>(options);
+    }
+  }
+  SUBEX_CHECK_MSG(false, "unknown detector kind");
+  return nullptr;
+}
+
+std::unique_ptr<PointExplainer> MakeTestbedPointExplainer(
+    PointExplainerKind kind, const TestbedProfile& profile) {
+  switch (kind) {
+    case PointExplainerKind::kBeam: {
+      Beam::Options options;
+      options.beam_width = profile.beam_width;
+      options.max_results = profile.max_results;
+      return std::make_unique<Beam>(options);
+    }
+    case PointExplainerKind::kRefOut: {
+      RefOut::Options options;
+      options.pool_size = profile.refout_pool_size;
+      options.beam_width = profile.beam_width;
+      options.projection_ratio = 0.7;
+      options.max_results = profile.max_results;
+      options.seed = profile.seed;
+      return std::make_unique<RefOut>(options);
+    }
+  }
+  SUBEX_CHECK_MSG(false, "unknown point explainer kind");
+  return nullptr;
+}
+
+std::unique_ptr<Summarizer> MakeTestbedSummarizer(
+    SummarizerKind kind, const TestbedProfile& profile) {
+  switch (kind) {
+    case SummarizerKind::kLookOut: {
+      LookOut::Options options;
+      options.budget = profile.lookout_budget;
+      options.max_candidates = profile.lookout_max_candidates;
+      options.seed = profile.seed;
+      return std::make_unique<LookOut>(options);
+    }
+    case SummarizerKind::kHics: {
+      Hics::Options options;
+      options.candidate_cutoff = profile.hics_candidate_cutoff;
+      options.mc_iterations = profile.hics_mc_iterations;
+      options.max_results = profile.max_results;
+      options.seed = profile.seed;
+      return std::make_unique<Hics>(options);
+    }
+  }
+  SUBEX_CHECK_MSG(false, "unknown summarizer kind");
+  return nullptr;
+}
+
+std::vector<TestbedDataset> BuildSyntheticSuite(
+    const TestbedProfile& profile) {
+  std::vector<TestbedDataset> suite;
+  for (SyntheticDataset& generated :
+       GeneratePaperHicsSuite(profile.seed, profile.dataset_scale)) {
+    if (static_cast<int>(generated.dataset.num_features()) >
+        profile.max_dataset_dim) {
+      continue;
+    }
+    TestbedDataset entry;
+    entry.subspace_outliers = true;
+    // Max planted subspace dimensionality over the dataset dimensionality
+    // (Table 1's relevant-feature ratio, e.g. 5/14 = 36%).
+    int max_planted = 0;
+    for (const Subspace& s : generated.relevant_subspaces) {
+      max_planted = std::max(max_planted, static_cast<int>(s.size()));
+    }
+    entry.relevant_feature_ratio =
+        static_cast<double>(max_planted) /
+        static_cast<double>(generated.dataset.num_features());
+    for (int dim = 2; dim <= std::min(profile.max_explanation_dim, 5);
+         ++dim) {
+      entry.explanation_dims.push_back(dim);
+    }
+    entry.data = std::move(generated);
+    suite.push_back(std::move(entry));
+  }
+  return suite;
+}
+
+std::vector<TestbedDataset> BuildRealSuite(const TestbedProfile& profile,
+                                           ThreadPool* pool) {
+  const Lof lof(15);  // Ground truth always uses LOF, as in §3.2.
+  GroundTruthBuilderOptions gt_options;
+  gt_options.min_dim = 2;
+  gt_options.max_dim = std::min(profile.max_explanation_dim, 4);
+
+  std::vector<TestbedDataset> suite;
+  for (SyntheticDataset& generated :
+       GeneratePaperRealSuite(profile.seed, profile.dataset_scale)) {
+    TestbedDataset entry;
+    entry.subspace_outliers = false;
+    entry.relevant_feature_ratio = 1.0;
+    for (int dim = gt_options.min_dim; dim <= gt_options.max_dim; ++dim) {
+      entry.explanation_dims.push_back(dim);
+    }
+    generated.ground_truth = BuildGroundTruthByExhaustiveSearch(
+        generated.dataset, lof, gt_options, pool);
+    entry.data = std::move(generated);
+    suite.push_back(std::move(entry));
+  }
+  return suite;
+}
+
+}  // namespace subex

@@ -1,0 +1,103 @@
+#ifndef SUBEX_CORE_TESTBED_H_
+#define SUBEX_CORE_TESTBED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "data/generators.h"
+#include "detect/detector.h"
+#include "explain/point_explainer.h"
+#include "explain/summarizer.h"
+
+namespace subex {
+
+/// The two point-explanation algorithms of the testbed.
+enum class PointExplainerKind { kBeam, kRefOut };
+/// The two explanation-summarization algorithms of the testbed.
+enum class SummarizerKind { kLookOut, kHics };
+
+/// Display name of a point explainer kind.
+const char* PointExplainerKindName(PointExplainerKind kind);
+/// Display name of a summarizer kind.
+const char* SummarizerKindName(SummarizerKind kind);
+
+/// Resource profile of a benchmark run.
+///
+/// `Paper()` reproduces the §3.1 hyper-parameters and dataset sizes;
+/// `Quick()` scales points, search widths and Monte-Carlo effort down so
+/// the full figure/table grid completes in minutes on one core while
+/// preserving every qualitative shape. Benchmark binaries accept `--full`
+/// to switch.
+struct TestbedProfile {
+  std::string name = "quick";
+
+  // Dataset sizing.
+  double dataset_scale = 0.3;  ///< Fraction of the paper's point counts.
+  int max_dataset_dim = 39;    ///< Skip wider synthetic splits.
+  int max_explanation_dim = 4; ///< Highest explanation dimensionality run.
+
+  // Evaluation protocol.
+  int max_points_per_cell = 5; ///< Point-explainer subsample (0 = all).
+
+  // Explainer knobs (§3.1 values in Paper()).
+  int beam_width = 20;
+  int refout_pool_size = 80;
+  int lookout_budget = 100;
+  std::uint64_t lookout_max_candidates = 10000;
+  int hics_candidate_cutoff = 100;
+  int hics_mc_iterations = 30;
+  int max_results = 100;
+
+  // Detector knobs.
+  int iforest_trees = 50;
+  int iforest_repetitions = 2;
+
+  std::uint64_t seed = 7;
+
+  /// The scaled-down single-core profile (default).
+  static TestbedProfile Quick();
+  /// The paper-faithful profile (§3.1 hyper-parameters, full datasets).
+  static TestbedProfile Paper();
+};
+
+/// Builds a detector per the profile: LOF(k=15) / FastABOD(k=10) /
+/// iForest(profile trees & repetitions, subsample 256).
+std::unique_ptr<Detector> MakeTestbedDetector(DetectorKind kind,
+                                              const TestbedProfile& profile);
+
+/// Builds a point explainer per the profile (Beam_FX / RefOut with Welch).
+std::unique_ptr<PointExplainer> MakeTestbedPointExplainer(
+    PointExplainerKind kind, const TestbedProfile& profile);
+
+/// Builds a summarizer per the profile (LookOut / HiCS_FX with Welch).
+std::unique_ptr<Summarizer> MakeTestbedSummarizer(
+    SummarizerKind kind, const TestbedProfile& profile);
+
+/// One benchmark dataset with everything the pipelines need.
+struct TestbedDataset {
+  SyntheticDataset data;
+  /// True for the HiCS-style splits (subspace outliers), false for the
+  /// real-dataset stand-ins (full-space outliers).
+  bool subspace_outliers = true;
+  /// Table 1's "% Relevant Feature Ratio" (max explanation dim over the
+  /// dataset dimensionality for subspace outliers, 1.0 for full space).
+  double relevant_feature_ratio = 1.0;
+  /// Explanation dimensionalities evaluated on this dataset.
+  std::vector<int> explanation_dims;
+};
+
+/// The synthetic half of the testbed: the HiCS splits within the profile's
+/// dimensionality budget, ground truth planted by the generator.
+std::vector<TestbedDataset> BuildSyntheticSuite(const TestbedProfile& profile);
+
+/// The real-dataset stand-ins, ground truth built by the paper's exhaustive
+/// LOF search (2d..4d). Pass a pool to parallelize the search.
+std::vector<TestbedDataset> BuildRealSuite(const TestbedProfile& profile,
+                                           ThreadPool* pool = nullptr);
+
+}  // namespace subex
+
+#endif  // SUBEX_CORE_TESTBED_H_

@@ -1,0 +1,41 @@
+#include "core/tradeoff.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace subex {
+
+bool SelectBestTradeoff(const std::vector<PipelineScore>& scores,
+                        const TradeoffOptions& options, PipelineScore* best) {
+  SUBEX_CHECK(best != nullptr);
+  double best_map = 0.0;
+  for (const PipelineScore& s : scores) best_map = std::max(best_map, s.map);
+  if (best_map < options.min_map) return false;
+
+  const PipelineScore* winner = nullptr;
+  for (const PipelineScore& s : scores) {
+    if (s.map < best_map - options.map_tolerance || s.map < options.min_map) {
+      continue;
+    }
+    if (winner == nullptr) {
+      winner = &s;
+      continue;
+    }
+    // Preference order within the MAP tie band: generic > specific, then
+    // faster, then higher MAP as the final tie-break.
+    if (s.generic != winner->generic) {
+      if (s.generic) winner = &s;
+      continue;
+    }
+    if (s.seconds != winner->seconds) {
+      if (s.seconds < winner->seconds) winner = &s;
+      continue;
+    }
+    if (s.map > winner->map) winner = &s;
+  }
+  *best = *winner;
+  return true;
+}
+
+}  // namespace subex

@@ -1,0 +1,43 @@
+#ifndef SUBEX_CORE_TRADEOFF_H_
+#define SUBEX_CORE_TRADEOFF_H_
+
+#include <string>
+#include <vector>
+
+namespace subex {
+
+/// One executed pipeline's effectiveness/efficiency summary, as consumed by
+/// the Table 2 trade-off analysis.
+struct PipelineScore {
+  std::string explainer;
+  std::string detector;
+  double map = 0.0;
+  double seconds = 0.0;
+  /// Generic algorithms (no distributional precondition, e.g. LookOut) are
+  /// preferred over condition-dependent ones (e.g. HiCS' correlation
+  /// heuristic) when effectiveness ties — the paper's Table 2 rule.
+  bool generic = true;
+
+  std::string Label() const { return explainer + " " + detector; }
+};
+
+/// Options of the trade-off selection.
+struct TradeoffOptions {
+  /// MAP values within this distance of the maximum count as ties (the
+  /// paper eyeballs "slightly less effective" as equivalent).
+  double map_tolerance = 0.1;
+  /// Pipelines below this MAP count as "zero effectiveness" and are never
+  /// selected (Table 2 leaves such cells empty).
+  double min_map = 0.05;
+};
+
+/// Picks the best pipeline in Pareto (MAP, runtime) order: among pipelines
+/// whose MAP is within `map_tolerance` of the best, prefer generic ones,
+/// then the fastest. Returns false (and leaves `best` untouched) when no
+/// pipeline clears `min_map`.
+bool SelectBestTradeoff(const std::vector<PipelineScore>& scores,
+                        const TradeoffOptions& options, PipelineScore* best);
+
+}  // namespace subex
+
+#endif  // SUBEX_CORE_TRADEOFF_H_

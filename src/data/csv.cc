@@ -1,0 +1,134 @@
+#include "data/csv.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace subex {
+namespace {
+
+// Splits `line` on commas, trimming surrounding spaces from each field.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) {
+    const auto first = field.find_first_not_of(" \t\r");
+    const auto last = field.find_last_not_of(" \t\r");
+    fields.push_back(first == std::string::npos
+                         ? std::string()
+                         : field.substr(first, last - first + 1));
+  }
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+CsvReadResult ReadCsv(const std::string& path, bool label_column) {
+  CsvReadResult result;
+  std::ifstream in(path);
+  if (!in) {
+    result.error = "cannot open file: " + path;
+    return result;
+  }
+
+  Matrix matrix;
+  std::vector<int> outliers;
+  std::string line;
+  int line_no = 0;
+  bool first_content_line = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    std::vector<double> row;
+    row.reserve(fields.size());
+    bool parse_failed = false;
+    for (const std::string& f : fields) {
+      double v = 0.0;
+      if (!ParseDouble(f, &v)) {
+        parse_failed = true;
+        break;
+      }
+      row.push_back(v);
+    }
+    if (parse_failed) {
+      if (first_content_line) {
+        first_content_line = false;  // Header row: skip it.
+        continue;
+      }
+      result.error = path + ":" + std::to_string(line_no) +
+                     ": non-numeric field in data row";
+      return result;
+    }
+    first_content_line = false;
+    if (label_column) {
+      if (row.size() < 2) {
+        result.error = path + ":" + std::to_string(line_no) +
+                       ": need at least one feature plus the label column";
+        return result;
+      }
+      const double label = row.back();
+      row.pop_back();
+      if (label != 0.0) outliers.push_back(static_cast<int>(matrix.rows()));
+    }
+    if (!matrix.empty() && row.size() != matrix.cols()) {
+      result.error = path + ":" + std::to_string(line_no) +
+                     ": inconsistent column count";
+      return result;
+    }
+    matrix.AppendRow(row);
+  }
+  if (matrix.rows() == 0) {
+    result.error = path + ": no data rows";
+    return result;
+  }
+  result.dataset = Dataset(std::move(matrix), std::move(outliers));
+  result.ok = true;
+  return result;
+}
+
+bool WriteCsv(const std::string& path, const Dataset& dataset,
+              bool label_column, std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open file for writing: " + path;
+    return false;
+  }
+  for (std::size_t f = 0; f < dataset.num_features(); ++f) {
+    if (f > 0) out << ',';
+    out << 'f' << f;
+  }
+  if (label_column) out << (dataset.num_features() > 0 ? ",is_outlier" : "is_outlier");
+  out << '\n';
+  char buf[64];
+  for (std::size_t p = 0; p < dataset.num_points(); ++p) {
+    for (std::size_t f = 0; f < dataset.num_features(); ++f) {
+      if (f > 0) out << ',';
+      std::snprintf(buf, sizeof(buf), "%.17g", dataset.Value(p, f));
+      out << buf;
+    }
+    if (label_column) {
+      out << ',' << (dataset.IsOutlier(static_cast<int>(p)) ? 1 : 0);
+    }
+    out << '\n';
+  }
+  if (!out) {
+    if (error != nullptr) *error = "write failure: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace subex

@@ -1,0 +1,35 @@
+#ifndef SUBEX_DATA_CSV_H_
+#define SUBEX_DATA_CSV_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace subex {
+
+/// Result of a CSV load; `ok` is false on malformed input with a
+/// human-readable `error` (file/line context included).
+struct CsvReadResult {
+  bool ok = false;
+  std::string error;
+  Dataset dataset;
+};
+
+/// Reads a numeric CSV into a `Dataset`.
+///
+/// Format: comma-separated doubles, one point per row. A first line that
+/// fails to parse as numbers is treated as a header and skipped. If
+/// `label_column` is true the last column is interpreted as an outlier label
+/// (non-zero = point of interest) and stripped from the feature matrix.
+/// Blank lines are ignored; every data row must have the same width.
+CsvReadResult ReadCsv(const std::string& path, bool label_column = true);
+
+/// Writes `dataset` as CSV with a generated header `f0,f1,...[,is_outlier]`.
+/// When `label_column` is true an extra 0/1 column marks the points of
+/// interest. Returns false (and fills `error` if non-null) on I/O failure.
+bool WriteCsv(const std::string& path, const Dataset& dataset,
+              bool label_column = true, std::string* error = nullptr);
+
+}  // namespace subex
+
+#endif  // SUBEX_DATA_CSV_H_

@@ -1,0 +1,464 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace subex {
+namespace {
+
+double Clip01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+// One relevant subspace of a HiCS-style dataset, modelled as a
+// *non-uniformly weighted even-parity atom mixture*.
+//
+// Each of the subspace's m coordinates has two well-separated levels; an
+// "atom" is a level pattern with even parity (2^(m-1) atoms), and inliers
+// are drawn from the atoms with strongly non-uniform weights. This single
+// construction delivers every structural property §3.2 attributes to the
+// HiCS datasets:
+//  * Correlated features: under non-uniform weights the coordinates are
+//    pairwise (and higher-order) statistically dependent, giving HiCS a
+//    contrast signal at every dimensionality from 2 up to m.
+//  * Planted outliers sit on ODD-parity patterns (the dominant atom with
+//    one coordinate flipped): a jointly empty cell at a whole level-gap
+//    from every inlier atom, so all three detectors flag them in the
+//    subspace and in its augmentations (property iv).
+//  * Every proper projection of an odd-parity pattern coincides with the
+//    projection of some even-parity atom, so the outlier is mixed with
+//    inliers in EVERY lower-dimensional projection (property v) -- and no
+//    partial subspace padded with unrelated features can compete with the
+//    true subspace in an explainer's ranking.
+struct SubspaceModel {
+  std::vector<FeatureId> features;
+  // atom_patterns[a][j] in {0, 1}: level index of atom a at coordinate j.
+  std::vector<std::vector<int>> atom_patterns;
+  std::vector<double> atom_weights;  // Sums to 1; atom 0 is the dominant.
+  // levels[j][b]: the value of level b of coordinate j.
+  std::vector<std::array<double, 2>> levels;
+  double atom_stddev = 0.045;
+
+  int dim() const { return static_cast<int>(features.size()); }
+  int num_atoms() const { return static_cast<int>(atom_patterns.size()); }
+
+  // Writes pattern coordinates + noise into `data` row `p`.
+  void Emit(std::span<const int> pattern, int p, Matrix& data,
+            Rng& rng) const {
+    for (int j = 0; j < dim(); ++j) {
+      data(p, features[j]) =
+          Clip01(levels[j][pattern[j]] + rng.Gaussian(0.0, atom_stddev));
+    }
+  }
+};
+
+SubspaceModel MakeSubspaceModel(std::vector<FeatureId> features,
+                                double noise_stddev, double min_offset,
+                                Rng& rng) {
+  SubspaceModel model;
+  model.features = std::move(features);
+  model.atom_stddev = std::max(noise_stddev, 0.045);
+  const int m = model.dim();
+  SUBEX_CHECK_MSG(min_offset <= 0.45,
+                  "level gap cannot honour min_outlier_offset");
+
+  model.levels.resize(m);
+  for (int j = 0; j < m; ++j) {
+    const double lo = rng.Uniform(0.15, 0.3);
+    model.levels[j] = {lo, lo + rng.Uniform(0.45, 0.6)};
+  }
+
+  // All even-parity patterns; a random one becomes the dominant atom.
+  for (int mask = 0; mask < (1 << m); ++mask) {
+    if (__builtin_popcount(static_cast<unsigned>(mask)) % 2 != 0) continue;
+    std::vector<int> pattern(m);
+    for (int j = 0; j < m; ++j) pattern[j] = (mask >> j) & 1;
+    model.atom_patterns.push_back(std::move(pattern));
+  }
+  const std::size_t dominant = rng.UniformIndex(model.atom_patterns.size());
+  std::swap(model.atom_patterns[0], model.atom_patterns[dominant]);
+
+  // Strongly non-uniform weights: the skew is what makes the coordinates
+  // dependent (uniform parity weights would be pairwise independent and
+  // carry no HiCS contrast).
+  model.atom_weights.resize(model.num_atoms());
+  model.atom_weights[0] = rng.Uniform(0.35, 0.5);
+  double rest = 0.0;
+  for (int a = 1; a < model.num_atoms(); ++a) {
+    model.atom_weights[a] = rng.Uniform(0.4, 1.6);
+    rest += model.atom_weights[a];
+  }
+  for (int a = 1; a < model.num_atoms(); ++a) {
+    model.atom_weights[a] *= (1.0 - model.atom_weights[0]) / rest;
+  }
+  return model;
+}
+
+// Fills the columns of `model.features` for every point with inlier
+// structure; returns each point's atom id.
+struct InlierAssignment {
+  std::vector<int> atoms;
+};
+
+InlierAssignment FillInliers(const SubspaceModel& model, Matrix& data,
+                             Rng& rng) {
+  const std::size_t n = data.rows();
+  InlierAssignment assignment;
+  assignment.atoms.assign(n, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    double u = rng.Uniform();
+    int atom = 0;
+    while (atom + 1 < model.num_atoms() && u > model.atom_weights[atom]) {
+      u -= model.atom_weights[atom];
+      ++atom;
+    }
+    assignment.atoms[p] = atom;
+    model.Emit(model.atom_patterns[atom], static_cast<int>(p), data, rng);
+  }
+  return assignment;
+}
+
+// Overwrites point `p`'s coordinates in `model`'s features with an
+// outlier: the dominant atom's pattern with one random coordinate flipped
+// -- an odd-parity cell, jointly empty yet populated in every projection.
+// The flip coordinate cycles deterministically through the subspace per
+// planted outlier (`ordinal`) so a subspace's five outliers spread over
+// different deviation directions.
+void PlantOutlier(const SubspaceModel& model,
+                  const InlierAssignment& assignment,
+                  const std::vector<int>& inlier_pool, int p,
+                  double min_offset, int ordinal, Matrix& data, Rng& rng) {
+  (void)min_offset;  // Guaranteed by the level-gap construction.
+  (void)assignment;
+  (void)inlier_pool;
+  std::vector<int> pattern = model.atom_patterns[0];
+  const int flip = ordinal % model.dim();
+  pattern[flip] = 1 - pattern[flip];
+  model.Emit(pattern, p, data, rng);
+}
+
+std::vector<int> DrawOutlierIndices(int num_points, int count,
+                                    std::vector<int>& available, Rng& rng) {
+  SUBEX_CHECK(static_cast<int>(available.size()) >= count);
+  (void)num_points;
+  std::vector<int> chosen;
+  chosen.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const std::size_t pick = rng.UniformIndex(available.size());
+    chosen.push_back(available[pick]);
+    available[pick] = available.back();
+    available.pop_back();
+  }
+  return chosen;
+}
+
+}  // namespace
+
+SyntheticDataset GenerateHicsDataset(const HicsGeneratorConfig& config) {
+  SUBEX_CHECK(config.num_points > 10);
+  SUBEX_CHECK(!config.subspace_dims.empty());
+  SUBEX_CHECK(config.outliers_per_subspace >= 1);
+  for (int d : config.subspace_dims) SUBEX_CHECK(d >= 2 && d <= 5);
+
+  Rng rng(config.seed);
+  const int num_features =
+      std::accumulate(config.subspace_dims.begin(), config.subspace_dims.end(), 0);
+  const int num_subspaces = static_cast<int>(config.subspace_dims.size());
+  const int total_slots = num_subspaces * config.outliers_per_subspace;
+  SUBEX_CHECK(config.num_shared_outliers >= 0 &&
+              config.num_shared_outliers <= total_slots / 2);
+
+  Matrix data(config.num_points, num_features);
+
+  // Partition the feature space into disjoint subspaces; shuffle the feature
+  // assignment so relevant features are not trivially contiguous.
+  std::vector<FeatureId> all_features(num_features);
+  std::iota(all_features.begin(), all_features.end(), 0);
+  rng.Shuffle(all_features);
+  std::vector<SubspaceModel> models;
+  models.reserve(num_subspaces);
+  std::size_t offset = 0;
+  for (int dim : config.subspace_dims) {
+    std::vector<FeatureId> features(all_features.begin() + offset,
+                                    all_features.begin() + offset + dim);
+    offset += dim;
+    models.push_back(MakeSubspaceModel(std::move(features),
+                                       config.noise_stddev,
+                                       config.min_outlier_offset, rng));
+  }
+
+  // Inlier structure everywhere first.
+  std::vector<InlierAssignment> assignments;
+  assignments.reserve(num_subspaces);
+  for (const SubspaceModel& model : models) {
+    assignments.push_back(FillInliers(model, data, rng));
+  }
+
+  // Decide which point indices become outliers. `available` holds points
+  // that are outliers of no subspace yet.
+  std::vector<int> available(config.num_points);
+  std::iota(available.begin(), available.end(), 0);
+  std::vector<std::vector<int>> per_subspace_outliers(num_subspaces);
+  std::vector<int> all_outliers;
+
+  // Fresh outliers per subspace.
+  int shared_budget = config.num_shared_outliers;
+  for (int s = 0; s < num_subspaces; ++s) {
+    int fresh = config.outliers_per_subspace;
+    int shared_here = 0;
+    // Later subspaces reuse earlier outliers when shared slots remain.
+    if (s > 0 && shared_budget > 0 && !all_outliers.empty()) {
+      shared_here = std::min(shared_budget, 1);
+      shared_budget -= shared_here;
+      fresh -= shared_here;
+    }
+    per_subspace_outliers[s] = DrawOutlierIndices(
+        config.num_points, fresh, available, rng);
+    for (int i = 0; i < shared_here; ++i) {
+      // Reuse an outlier of an earlier subspace: never one already assigned
+      // to this subspace, and never one that is already shared (the paper's
+      // outliers are explained by at most two subspaces).
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const int reused = all_outliers[rng.UniformIndex(all_outliers.size())];
+        auto& mine = per_subspace_outliers[s];
+        if (std::find(mine.begin(), mine.end(), reused) != mine.end()) {
+          continue;
+        }
+        int memberships = 0;
+        for (int s2 = 0; s2 < s; ++s2) {
+          const auto& o2 = per_subspace_outliers[s2];
+          memberships += std::count(o2.begin(), o2.end(), reused);
+        }
+        if (memberships >= 2) continue;
+        mine.push_back(reused);
+        break;
+      }
+    }
+    for (int p : per_subspace_outliers[s]) {
+      if (std::find(all_outliers.begin(), all_outliers.end(), p) ==
+          all_outliers.end()) {
+        all_outliers.push_back(p);
+      }
+    }
+  }
+  // If the shared budget could not be fully spent in one-per-subspace steps,
+  // spend the remainder on the last subspaces.
+  for (int s = num_subspaces - 1; s >= 1 && shared_budget > 0; --s) {
+    for (int attempt = 0; attempt < 64 && shared_budget > 0; ++attempt) {
+      const int reused = all_outliers[rng.UniformIndex(all_outliers.size())];
+      auto& mine = per_subspace_outliers[s];
+      if (std::find(mine.begin(), mine.end(), reused) == mine.end()) {
+        // Swap: drop one fresh outlier of s back to inlier-hood and reuse.
+        // (Keeps outliers-per-subspace constant while reducing the distinct
+        // outlier count.)
+        const int dropped = mine.front();
+        mine.front() = reused;
+        auto it = std::find(all_outliers.begin(), all_outliers.end(), dropped);
+        // Only demote if the dropped point is an outlier of s alone.
+        bool elsewhere = false;
+        for (int s2 = 0; s2 < num_subspaces; ++s2) {
+          if (s2 == s) continue;
+          const auto& o2 = per_subspace_outliers[s2];
+          if (std::find(o2.begin(), o2.end(), dropped) != o2.end()) {
+            elsewhere = true;
+            break;
+          }
+        }
+        if (!elsewhere && it != all_outliers.end()) all_outliers.erase(it);
+        --shared_budget;
+      }
+    }
+  }
+
+  // Plant the deviations.
+  GroundTruth ground_truth;
+  std::vector<Subspace> relevant;
+  for (int s = 0; s < num_subspaces; ++s) {
+    const SubspaceModel& model = models[s];
+    const Subspace subspace(model.features);
+    relevant.push_back(subspace);
+    // Donor pool: inliers of this subspace.
+    std::vector<int> donors;
+    donors.reserve(config.num_points);
+    for (int p = 0; p < config.num_points; ++p) {
+      const auto& mine = per_subspace_outliers[s];
+      if (std::find(mine.begin(), mine.end(), p) == mine.end()) {
+        donors.push_back(p);
+      }
+    }
+    int ordinal = 0;
+    for (int p : per_subspace_outliers[s]) {
+      PlantOutlier(model, assignments[s], donors, p,
+                   config.min_outlier_offset, ordinal++, data, rng);
+      ground_truth.Add(p, subspace);
+    }
+  }
+
+  std::sort(all_outliers.begin(), all_outliers.end());
+  SyntheticDataset result;
+  result.name = "hics_" + std::to_string(num_features) + "d";
+  result.dataset = Dataset(std::move(data), std::move(all_outliers));
+  result.ground_truth = std::move(ground_truth);
+  std::sort(relevant.begin(), relevant.end());
+  result.relevant_subspaces = std::move(relevant);
+  return result;
+}
+
+std::vector<SyntheticDataset> GeneratePaperHicsSuite(std::uint64_t seed,
+                                                     double scale) {
+  SUBEX_CHECK(scale > 0.0 && scale <= 1.0);
+  // The five splits of Table 1 / Figure 8. Each dimension list partitions
+  // the feature space exactly (sums to the dataset dimensionality) and the
+  // shared-outlier counts realize the published contamination:
+  //   14d: 4 subspaces, 20 outliers   (0 shared)
+  //   23d: 7 subspaces, 34 outliers   (1 shared)
+  //   39d: 12 subspaces, 59 outliers  (1 shared)
+  //   70d: 22 subspaces, 100 outliers (10 shared)
+  //  100d: 31 subspaces, 143 outliers (12 shared)
+  struct Split {
+    std::vector<int> dims;
+    int shared;
+  };
+  const std::vector<Split> splits = {
+      {{2, 3, 4, 5}, 0},
+      {{2, 2, 3, 3, 4, 4, 5}, 1},
+      {{2, 2, 2, 3, 3, 3, 3, 3, 4, 4, 5, 5}, 1},
+      {{2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 4, 4, 4, 4, 4, 5, 5, 5},
+       10},
+      {{2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3, 3,
+        4, 4, 4, 4, 4, 4, 4, 5, 5, 5, 5, 5},
+       12},
+  };
+  std::vector<SyntheticDataset> suite;
+  suite.reserve(splits.size());
+  std::uint64_t split_seed = seed;
+  for (const Split& split : splits) {
+    HicsGeneratorConfig config;
+    config.num_points = std::max(50, static_cast<int>(1000 * scale));
+    config.subspace_dims = split.dims;
+    config.outliers_per_subspace = 5;
+    config.num_shared_outliers = split.shared;
+    config.seed = ++split_seed * 7919;
+    suite.push_back(GenerateHicsDataset(config));
+  }
+  return suite;
+}
+
+SyntheticDataset GenerateFullSpaceDataset(
+    const FullSpaceGeneratorConfig& config) {
+  SUBEX_CHECK(config.num_points > config.num_outliers);
+  SUBEX_CHECK(config.num_features >= 2);
+  SUBEX_CHECK(config.num_clusters >= 1);
+  SUBEX_CHECK(config.min_offset > 0 && config.max_offset >= config.min_offset);
+
+  Rng rng(config.seed);
+  Matrix data(config.num_points, config.num_features);
+
+  // Cluster centers kept away from the domain border so outlier offsets in
+  // either direction stay representable.
+  std::vector<std::vector<double>> centers(config.num_clusters);
+  for (auto& center : centers) {
+    center.resize(config.num_features);
+    for (double& c : center) c = rng.Uniform(0.3, 0.7);
+  }
+
+  std::vector<int> outliers = rng.SampleWithoutReplacement(
+      config.num_points, config.num_outliers);
+
+  for (int p = 0; p < config.num_points; ++p) {
+    const auto& center = centers[rng.UniformIndex(centers.size())];
+    const bool is_outlier =
+        std::binary_search(outliers.begin(), outliers.end(), p);
+    for (int f = 0; f < config.num_features; ++f) {
+      double v = center[f] + rng.Gaussian(0.0, config.cluster_stddev);
+      if (is_outlier) {
+        // Deviate in *every* feature: visible in the full space and in any
+        // projection (Table 1: 100% relevant feature ratio, visibility in
+        // projections and augmentations).
+        const double magnitude =
+            rng.Uniform(config.min_offset, config.max_offset);
+        v += (rng.Uniform() < 0.5 ? -1.0 : 1.0) * magnitude;
+      }
+      data(p, f) = Clip01(v);
+    }
+  }
+
+  SyntheticDataset result;
+  result.name = "fullspace_" + std::to_string(config.num_features) + "d";
+  result.dataset = Dataset(std::move(data), std::move(outliers));
+  return result;
+}
+
+std::vector<SyntheticDataset> GeneratePaperRealSuite(std::uint64_t seed,
+                                                     double scale) {
+  SUBEX_CHECK(scale > 0.0 && scale <= 1.0);
+  struct Shape {
+    const char* name;
+    int points;
+    int features;
+    int outliers;
+  };
+  // Published shapes of the three real datasets (§3.2).
+  const std::vector<Shape> shapes = {
+      {"breast_like", 198, 31, 20},
+      {"breast_diag_like", 569, 30, 57},
+      {"electricity_like", 1205, 23, 121},
+  };
+  std::vector<SyntheticDataset> suite;
+  suite.reserve(shapes.size());
+  std::uint64_t shape_seed = seed;
+  for (const Shape& shape : shapes) {
+    FullSpaceGeneratorConfig config;
+    config.num_points = std::max(40, static_cast<int>(shape.points * scale));
+    config.num_features = shape.features;
+    config.num_outliers =
+        std::max(4, static_cast<int>(shape.outliers * scale));
+    config.num_clusters = 3;
+    config.seed = ++shape_seed * 104729;
+    SyntheticDataset dataset = GenerateFullSpaceDataset(config);
+    dataset.name = shape.name;
+    suite.push_back(std::move(dataset));
+  }
+  return suite;
+}
+
+SyntheticDataset GenerateFigure1Dataset(std::uint64_t seed, int num_points) {
+  SUBEX_CHECK(num_points >= 20);
+  Rng rng(seed);
+  Matrix data(num_points, 3);
+  // Inliers: one latent drives all three features, so every feature pair is
+  // correlated. o1 breaks the {F1,F2} relation; o2 breaks {F2,F3}.
+  auto f0 = [](double t) { return 0.1 + 0.8 * t; };
+  auto f1 = [](double t) { return 0.9 - 0.75 * t; };
+  auto f2 = [](double t) { return 0.15 + 0.7 * t * t; };
+  constexpr double kNoise = 0.02;
+  for (int p = 0; p < num_points; ++p) {
+    const double t = rng.Uniform();
+    data(p, 0) = Clip01(f0(t) + rng.Gaussian(0.0, kNoise));
+    data(p, 1) = Clip01(f1(t) + rng.Gaussian(0.0, kNoise));
+    data(p, 2) = Clip01(f2(t) + rng.Gaussian(0.0, kNoise));
+  }
+  const int o1 = 0;
+  const int o2 = 1;
+  // o1: coordinates of two distant latents -> jointly off the {F0,F1} curve.
+  data(o1, 0) = f0(0.15);
+  data(o1, 1) = f1(0.85);
+  data(o1, 2) = f2(0.85);
+  // o2: consistent in {F0,F1}, broken in {F1,F2} (and {F0,F2}).
+  data(o2, 0) = f0(0.2);
+  data(o2, 1) = f1(0.2);
+  data(o2, 2) = f2(0.9);
+
+  SyntheticDataset result;
+  result.name = "figure1_toy";
+  result.dataset = Dataset(std::move(data), {o1, o2});
+  result.ground_truth.Add(o1, Subspace({0, 1}));
+  result.ground_truth.Add(o2, Subspace({1, 2}));
+  result.relevant_subspaces = {Subspace({0, 1}), Subspace({1, 2})};
+  return result;
+}
+
+}  // namespace subex

@@ -1,0 +1,75 @@
+#include "data/ground_truth.h"
+
+#include <algorithm>
+#include <set>
+
+namespace subex {
+
+const std::vector<Subspace> GroundTruth::kEmpty;
+
+void GroundTruth::Add(int point, const Subspace& subspace) {
+  std::vector<Subspace>& list = relevant_[point];
+  if (std::find(list.begin(), list.end(), subspace) == list.end()) {
+    list.push_back(subspace);
+  }
+}
+
+const std::vector<Subspace>& GroundTruth::RelevantFor(int point) const {
+  const auto it = relevant_.find(point);
+  return it == relevant_.end() ? kEmpty : it->second;
+}
+
+std::vector<int> GroundTruth::ExplainedPoints() const {
+  std::vector<int> points;
+  points.reserve(relevant_.size());
+  for (const auto& [point, subspaces] : relevant_) points.push_back(point);
+  return points;
+}
+
+std::vector<int> GroundTruth::PointsExplainedAtDimension(int dim) const {
+  std::vector<int> points;
+  for (const auto& [point, subspaces] : relevant_) {
+    for (const Subspace& s : subspaces) {
+      if (static_cast<int>(s.size()) == dim) {
+        points.push_back(point);
+        break;
+      }
+    }
+  }
+  return points;
+}
+
+GroundTruth GroundTruth::FilterByDimension(int dim) const {
+  GroundTruth filtered;
+  for (const auto& [point, subspaces] : relevant_) {
+    for (const Subspace& s : subspaces) {
+      if (static_cast<int>(s.size()) == dim) filtered.Add(point, s);
+    }
+  }
+  return filtered;
+}
+
+std::vector<Subspace> GroundTruth::AllRelevantSubspaces() const {
+  std::set<Subspace> unique;
+  for (const auto& [point, subspaces] : relevant_) {
+    unique.insert(subspaces.begin(), subspaces.end());
+  }
+  return {unique.begin(), unique.end()};
+}
+
+double GroundTruth::MeanOutliersPerSubspace() const {
+  const std::vector<Subspace> unique = AllRelevantSubspaces();
+  if (unique.empty()) return 0.0;
+  std::size_t pairs = 0;
+  for (const auto& [point, subspaces] : relevant_) pairs += subspaces.size();
+  return static_cast<double>(pairs) / static_cast<double>(unique.size());
+}
+
+double GroundTruth::MeanSubspacesPerPoint() const {
+  if (relevant_.empty()) return 0.0;
+  std::size_t pairs = 0;
+  for (const auto& [point, subspaces] : relevant_) pairs += subspaces.size();
+  return static_cast<double>(pairs) / static_cast<double>(relevant_.size());
+}
+
+}  // namespace subex

@@ -1,0 +1,58 @@
+#ifndef SUBEX_DATA_GROUND_TRUTH_H_
+#define SUBEX_DATA_GROUND_TRUTH_H_
+
+#include <map>
+#include <vector>
+
+#include "subspace/subspace.h"
+
+namespace subex {
+
+/// The gold standard of an explanation benchmark: for every point of
+/// interest, the set `REL_p` of subspaces that truly explain its
+/// outlyingness.
+///
+/// The evaluation metric of the paper (§3.3) compares an explainer's ranked
+/// subspaces against these sets: a returned subspace counts as relevant only
+/// if it is *identical* to a member of `REL_p`.
+class GroundTruth {
+ public:
+  /// Records `subspace` as relevant for `point`. Duplicates are ignored.
+  void Add(int point, const Subspace& subspace);
+
+  /// The relevant subspaces of `point` (empty if the point has none).
+  const std::vector<Subspace>& RelevantFor(int point) const;
+
+  /// Points that have at least one relevant subspace, ascending.
+  std::vector<int> ExplainedPoints() const;
+
+  /// Points that have at least one relevant subspace of exactly `dim`
+  /// features. The paper evaluates each explanation dimensionality only on
+  /// the points the ground truth explains at that dimensionality.
+  std::vector<int> PointsExplainedAtDimension(int dim) const;
+
+  /// Ground truth restricted to subspaces of exactly `dim` features.
+  GroundTruth FilterByDimension(int dim) const;
+
+  /// All distinct relevant subspaces across every point.
+  std::vector<Subspace> AllRelevantSubspaces() const;
+
+  /// Mean number of outlier points per distinct relevant subspace
+  /// (Table 1's "# Outliers per Relevant Subspace"). 0 when empty.
+  double MeanOutliersPerSubspace() const;
+
+  /// Mean number of relevant subspaces per explained point. 0 when empty.
+  double MeanSubspacesPerPoint() const;
+
+  /// True when no point has any relevant subspace.
+  bool empty() const { return relevant_.empty(); }
+
+ private:
+  // std::map keeps ExplainedPoints() ordered without re-sorting.
+  std::map<int, std::vector<Subspace>> relevant_;
+  static const std::vector<Subspace> kEmpty;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_DATA_GROUND_TRUTH_H_

@@ -1,0 +1,50 @@
+#include "detect/detector.h"
+
+#include "common/check.h"
+#include "detect/fast_abod.h"
+#include "detect/isolation_forest.h"
+#include "detect/lof.h"
+#include "stats/descriptive.h"
+
+namespace subex {
+
+std::vector<double> ScoreStandardized(const Detector& detector,
+                                      const Dataset& data,
+                                      const Subspace& subspace) {
+  return Standardize(detector.Score(data, subspace));
+}
+
+std::unique_ptr<Detector> MakeDetector(DetectorKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case DetectorKind::kLof:
+      return std::make_unique<Lof>(15);
+    case DetectorKind::kFastAbod:
+      return std::make_unique<FastAbod>(10);
+    case DetectorKind::kIsolationForest: {
+      IsolationForest::Options options;
+      options.seed = seed;
+      return std::make_unique<IsolationForest>(options);
+    }
+  }
+  SUBEX_CHECK_MSG(false, "unknown detector kind");
+  return nullptr;
+}
+
+std::vector<DetectorKind> AllDetectorKinds() {
+  return {DetectorKind::kLof, DetectorKind::kFastAbod,
+          DetectorKind::kIsolationForest};
+}
+
+const char* DetectorKindName(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kLof:
+      return "LOF";
+    case DetectorKind::kFastAbod:
+      return "FastABOD";
+    case DetectorKind::kIsolationForest:
+      return "iForest";
+  }
+  return "unknown";
+}
+
+}  // namespace subex

@@ -1,0 +1,28 @@
+#ifndef SUBEX_DETECT_EXACT_ABOD_H_
+#define SUBEX_DETECT_EXACT_ABOD_H_
+
+#include "detect/detector.h"
+
+namespace subex {
+
+/// Exact Angle-Based Outlier Detection [Kriegel et al., KDD 2008]: the
+/// angle-factor variance is computed over *all* pairs of other points,
+/// O(n^3) time. The paper uses the O(k n^2) Fast ABOD approximation
+/// (`FastAbod`) throughout; this exact variant exists to quantify the
+/// approximation quality (see the detector ablation bench) and for small
+/// datasets where exactness is affordable.
+///
+/// Scores follow the same orientation/transform as `FastAbod`:
+/// `-log(ABOF + eps)`, higher = more outlying.
+class ExactAbod final : public Detector {
+ public:
+  ExactAbod() = default;
+
+  std::string name() const override { return "ExactABOD"; }
+  std::vector<double> Score(const Dataset& data,
+                            const Subspace& subspace) const override;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_DETECT_EXACT_ABOD_H_

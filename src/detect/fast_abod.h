@@ -1,0 +1,34 @@
+#ifndef SUBEX_DETECT_FAST_ABOD_H_
+#define SUBEX_DETECT_FAST_ABOD_H_
+
+#include "detect/detector.h"
+
+namespace subex {
+
+/// Fast Angle-Based Outlier Detection [Kriegel et al., KDD 2008].
+///
+/// Computes, per point, the variance of the normalized dot products
+/// <x1-p, x2-p> / (|x1-p|^2 * |x2-p|^2) over pairs of its k nearest
+/// neighbors (the O(k n^2) approximation of the O(n^3) exact ABOD). Points
+/// surrounded by neighbors in many directions have high angle variance
+/// (inliers); border points have low variance (outliers). Following the
+/// testbed's orientation convention the returned score is the *negated*
+/// variance, so higher = more outlying.
+class FastAbod final : public Detector {
+ public:
+  /// `k`: neighborhood size; the testbed default is 10.
+  explicit FastAbod(int k = 10);
+
+  std::string name() const override { return "FastABOD"; }
+  std::vector<double> Score(const Dataset& data,
+                            const Subspace& subspace) const override;
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_DETECT_FAST_ABOD_H_

@@ -1,0 +1,146 @@
+#include "detect/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace subex {
+namespace {
+
+// One node of an isolation tree, stored in a flat vector. Leaves carry the
+// number of subsample points that reached them (for the c(size) correction).
+struct Node {
+  FeatureId feature = -1;   // -1 marks a leaf.
+  double split = 0.0;
+  int left = -1;
+  int right = -1;
+  int size = 0;
+};
+
+class IsolationTree {
+ public:
+  /// Builds a tree over the rows `sample` of `data` using the given global
+  /// feature ids, splitting until isolation or `height_limit`.
+  IsolationTree(const Dataset& data, std::span<const FeatureId> features,
+                std::vector<int> sample, int height_limit, Rng& rng) {
+    nodes_.reserve(2 * sample.size());
+    root_ = Build(data, features, std::move(sample), 0, height_limit, rng);
+  }
+
+  /// Path length of point `p`: depth of the leaf it lands in plus the
+  /// average-path correction c(leaf size).
+  double PathLength(const Dataset& data, int p) const {
+    int node = root_;
+    double depth = 0.0;
+    while (nodes_[node].feature >= 0) {
+      node = data.Value(p, nodes_[node].feature) < nodes_[node].split
+                 ? nodes_[node].left
+                 : nodes_[node].right;
+      depth += 1.0;
+    }
+    return depth + IsolationForest::AveragePathLength(nodes_[node].size);
+  }
+
+ private:
+  int Build(const Dataset& data, std::span<const FeatureId> features,
+            std::vector<int> sample, int height, int height_limit, Rng& rng) {
+    const int index = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[index].size = static_cast<int>(sample.size());
+    if (height >= height_limit || sample.size() <= 1) return index;
+
+    // Pick a feature that still varies within the sample; give up after a
+    // few tries (all-constant region -> leaf).
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const FeatureId f = features[rng.UniformIndex(features.size())];
+      double lo = data.Value(sample[0], f);
+      double hi = lo;
+      for (int p : sample) {
+        lo = std::min(lo, data.Value(p, f));
+        hi = std::max(hi, data.Value(p, f));
+      }
+      if (hi - lo < 1e-12) continue;
+      const double split = rng.Uniform(lo, hi);
+      std::vector<int> left_sample;
+      std::vector<int> right_sample;
+      for (int p : sample) {
+        (data.Value(p, f) < split ? left_sample : right_sample).push_back(p);
+      }
+      if (left_sample.empty() || right_sample.empty()) continue;
+      const int left = Build(data, features, std::move(left_sample),
+                             height + 1, height_limit, rng);
+      const int right = Build(data, features, std::move(right_sample),
+                              height + 1, height_limit, rng);
+      nodes_[index].feature = f;
+      nodes_[index].split = split;
+      nodes_[index].left = left;
+      nodes_[index].right = right;
+      return index;
+    }
+    return index;  // Leaf: no usable split found.
+  }
+
+  std::vector<Node> nodes_;
+  int root_ = 0;
+};
+
+}  // namespace
+
+IsolationForest::IsolationForest(const Options& options) : options_(options) {
+  SUBEX_CHECK(options.num_trees >= 1);
+  SUBEX_CHECK(options.subsample_size >= 2);
+  SUBEX_CHECK(options.num_repetitions >= 1);
+}
+
+double IsolationForest::AveragePathLength(int n) {
+  if (n <= 1) return 0.0;
+  if (n == 2) return 1.0;
+  const double h = std::log(static_cast<double>(n - 1)) + 0.5772156649015329;
+  return 2.0 * h - 2.0 * static_cast<double>(n - 1) / static_cast<double>(n);
+}
+
+std::vector<double> IsolationForest::Score(const Dataset& data,
+                                           const Subspace& subspace) const {
+  const int n = static_cast<int>(data.num_points());
+  SUBEX_CHECK(n >= 2);
+
+  std::vector<FeatureId> full;
+  std::span<const FeatureId> features = subspace.AsSpan();
+  if (subspace.empty()) {
+    full.resize(data.num_features());
+    std::iota(full.begin(), full.end(), 0);
+    features = full;
+  }
+
+  const int psi = std::min(options_.subsample_size, n);
+  const int height_limit =
+      static_cast<int>(std::ceil(std::log2(static_cast<double>(psi))));
+  const double c_psi = AveragePathLength(psi);
+
+  // Deterministic per-(seed, subspace) randomness so Score is pure.
+  const std::uint64_t subspace_salt = SubspaceHash()(subspace);
+  std::vector<double> mean_scores(n, 0.0);
+
+  for (int rep = 0; rep < options_.num_repetitions; ++rep) {
+    Rng rng(options_.seed ^ subspace_salt ^
+            (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(rep + 1)));
+    std::vector<double> path_sum(n, 0.0);
+    for (int t = 0; t < options_.num_trees; ++t) {
+      std::vector<int> sample = rng.SampleWithoutReplacement(n, psi);
+      IsolationTree tree(data, features, std::move(sample), height_limit,
+                         rng);
+      for (int p = 0; p < n; ++p) path_sum[p] += tree.PathLength(data, p);
+    }
+    for (int p = 0; p < n; ++p) {
+      const double mean_path = path_sum[p] / options_.num_trees;
+      mean_scores[p] += std::pow(2.0, -mean_path / c_psi);
+    }
+  }
+  for (double& s : mean_scores) s /= options_.num_repetitions;
+  return mean_scores;
+}
+
+}  // namespace subex

@@ -1,0 +1,53 @@
+#include "detect/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/matrix.h"
+
+namespace subex {
+
+KnnTable ComputeKnn(const Dataset& data, const Subspace& subspace, int k) {
+  const int n = static_cast<int>(data.num_points());
+  SUBEX_CHECK_MSG(n >= 2, "kNN needs at least two points");
+  SUBEX_CHECK(k >= 1);
+  k = std::min(k, n - 1);
+
+  // Resolve the feature list once; empty subspace means every feature.
+  std::vector<FeatureId> full;
+  std::span<const FeatureId> features = subspace.AsSpan();
+  if (subspace.empty()) {
+    full.resize(data.num_features());
+    std::iota(full.begin(), full.end(), 0);
+    features = full;
+  }
+
+  KnnTable table;
+  table.k = k;
+  table.neighbors.resize(n);
+
+  const Matrix& m = data.matrix();
+  std::vector<Neighbor> all(n - 1);
+  for (int p = 0; p < n; ++p) {
+    int w = 0;
+    for (int q = 0; q < n; ++q) {
+      if (q == p) continue;
+      all[w].distance = SquaredDistance(m, p, q, features);
+      all[w].index = q;
+      ++w;
+    }
+    auto cmp = [](const Neighbor& a, const Neighbor& b) {
+      if (a.distance != b.distance) return a.distance < b.distance;
+      return a.index < b.index;
+    };
+    std::partial_sort(all.begin(), all.begin() + k, all.end(), cmp);
+    std::vector<Neighbor>& out = table.neighbors[p];
+    out.assign(all.begin(), all.begin() + k);
+    for (Neighbor& nb : out) nb.distance = std::sqrt(nb.distance);
+  }
+  return table;
+}
+
+}  // namespace subex

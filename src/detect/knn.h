@@ -1,0 +1,38 @@
+#ifndef SUBEX_DETECT_KNN_H_
+#define SUBEX_DETECT_KNN_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "subspace/subspace.h"
+
+namespace subex {
+
+/// One neighbor of a query point.
+struct Neighbor {
+  double distance = 0.0;  // Euclidean, within the query subspace.
+  int index = -1;
+};
+
+/// k-nearest-neighbor lists for every point of a dataset within one
+/// subspace. `neighbors[p]` holds up to k entries sorted by ascending
+/// distance, excluding `p` itself. Ties are broken by point index so
+/// results are deterministic.
+struct KnnTable {
+  int k = 0;
+  std::vector<std::vector<Neighbor>> neighbors;
+
+  /// Distance from point `p` to its k-th nearest neighbor.
+  double KDistance(int p) const { return neighbors[p].back().distance; }
+};
+
+/// Brute-force kNN over all points, restricted to `subspace` (empty =
+/// full space). O(n^2 * |subspace|) time, O(n * k) memory. `k` is clamped
+/// to n-1. This is the shared substrate of LOF and Fast ABOD; brute force
+/// is the right tool here because explainers query thousands of *different*
+/// low-dimensional subspaces, so no index amortizes.
+KnnTable ComputeKnn(const Dataset& data, const Subspace& subspace, int k);
+
+}  // namespace subex
+
+#endif  // SUBEX_DETECT_KNN_H_

@@ -1,0 +1,49 @@
+#ifndef SUBEX_DETECT_LODA_H_
+#define SUBEX_DETECT_LODA_H_
+
+#include <cstdint>
+
+#include "detect/detector.h"
+
+namespace subex {
+
+/// LODA — Lightweight On-line Detector of Anomalies [Pevny, Machine
+/// Learning 2015].
+///
+/// An ensemble of one-dimensional histograms over sparse random
+/// projections: each projector uses ~sqrt(|subspace|) random features with
+/// Gaussian weights, the projected values are binned into an equal-width
+/// histogram, and a point's outlyingness is the negative mean log density
+/// across projectors (higher = more outlying).
+///
+/// The paper's §6 names LODA as the natural candidate for extending the
+/// testbed toward stream processing; this batch implementation slots into
+/// the same `Detector` interface, so every explainer can be paired with it
+/// out of the box. Deterministic per (seed, subspace), like the forest.
+class Loda final : public Detector {
+ public:
+  struct Options {
+    int num_projections = 100;
+    /// 0 = automatic (2 * n^(1/3)) bins per histogram.
+    int num_bins = 0;
+    std::uint64_t seed = 42;
+  };
+
+  /// Builds the detector with the given options.
+  explicit Loda(const Options& options);
+  /// Builds the detector with the defaults of the LODA paper.
+  Loda() : Loda(Options{}) {}
+
+  std::string name() const override { return "LODA"; }
+  std::vector<double> Score(const Dataset& data,
+                            const Subspace& subspace) const override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_DETECT_LODA_H_

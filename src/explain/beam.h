@@ -1,0 +1,60 @@
+#ifndef SUBEX_EXPLAIN_BEAM_H_
+#define SUBEX_EXPLAIN_BEAM_H_
+
+#include <cstdint>
+
+#include "explain/point_explainer.h"
+
+namespace subex {
+
+/// Beam point explainer [Nguyen et al., DMKD 2016] (§2.2).
+///
+/// Stage-wise greedy search: stage 1 scores the to-be-explained point in
+/// every 2-dimensional subspace exhaustively; each later stage extends the
+/// top `beam_width` subspaces of the previous stage by one feature and
+/// rescores. Scores are the point's z-standardized detector score in the
+/// candidate subspace (higher = better explanation).
+///
+/// Two result conventions are supported:
+///  * `kFixedDim` (Beam_FX, the paper's comparison variant and the
+///    default): return the final stage's list — subspaces of exactly the
+///    requested dimensionality.
+///  * `kGlobalBest`: return the global list of best subspaces across all
+///    stages (the original algorithm), which may mix dimensionalities from
+///    2 up to `target_dim`.
+class Beam final : public PointExplainer {
+ public:
+  enum class ResultMode { kFixedDim, kGlobalBest };
+
+  struct Options {
+    /// Subspaces kept per stage (the paper uses 100).
+    int beam_width = 100;
+    /// Maximum subspaces returned (the paper reports the top-100).
+    int max_results = 100;
+    ResultMode result_mode = ResultMode::kFixedDim;
+  };
+
+  /// Builds the explainer with the given options.
+  explicit Beam(const Options& options);
+  /// Builds the explainer with the §3.1 defaults (Beam_FX, width 100).
+  Beam() : Beam(Options{}) {}
+
+  std::string name() const override { return "Beam"; }
+  RankedSubspaces Explain(const Dataset& data, const Detector& detector,
+                          int point, int target_dim) const override;
+
+  /// Number of detector invocations (subspaces scored) during the last
+  /// `Explain` call is not tracked here to keep Explain const & thread-safe;
+  /// use `CountScoredSubspaces` to predict the cost analytically.
+  static std::uint64_t CountScoredSubspaces(int num_features, int target_dim,
+                                            int beam_width);
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_EXPLAIN_BEAM_H_

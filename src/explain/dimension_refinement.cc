@@ -1,0 +1,50 @@
+#include "explain/dimension_refinement.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace subex {
+
+double DimensionalGain(const Dataset& data, const Detector& detector,
+                       int point, const Subspace& subspace) {
+  SUBEX_CHECK(subspace.size() >= 2);
+  const double full = ScoreStandardized(detector, data, subspace)[point];
+  double best_projection = -1e300;
+  for (FeatureId dropped : subspace.features()) {
+    std::vector<FeatureId> reduced;
+    reduced.reserve(subspace.size() - 1);
+    for (FeatureId f : subspace.features()) {
+      if (f != dropped) reduced.push_back(f);
+    }
+    const double projected =
+        ScoreStandardized(detector, data, Subspace(reduced))[point];
+    best_projection = std::max(best_projection, projected);
+  }
+  return full - best_projection;
+}
+
+RankedSubspaces RefineByDimensionalGain(
+    const Dataset& data, const Detector& detector, int point,
+    const RankedSubspaces& candidates,
+    const DimensionRefinementOptions& options) {
+  SUBEX_CHECK(options.max_candidates >= 1);
+  const std::size_t head = std::min<std::size_t>(options.max_candidates,
+                                                 candidates.size());
+  RankedSubspaces refined;
+  for (std::size_t i = 0; i < head; ++i) {
+    refined.Add(candidates.subspaces[i],
+                DimensionalGain(data, detector, point,
+                                candidates.subspaces[i]));
+  }
+  refined.SortDescendingAndTruncate(refined.size());
+  // Tail keeps its original order, below every refined candidate.
+  double floor = refined.scores.empty() ? 0.0 : refined.scores.back();
+  for (std::size_t i = head; i < candidates.size(); ++i) {
+    floor -= 1.0;
+    refined.Add(candidates.subspaces[i], floor);
+  }
+  return refined;
+}
+
+}  // namespace subex

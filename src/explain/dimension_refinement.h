@@ -1,0 +1,46 @@
+#ifndef SUBEX_EXPLAIN_DIMENSION_REFINEMENT_H_
+#define SUBEX_EXPLAIN_DIMENSION_REFINEMENT_H_
+
+#include "data/dataset.h"
+#include "detect/detector.h"
+#include "explain/explanation.h"
+
+namespace subex {
+
+/// Options of the dimension-based re-ranking.
+struct DimensionRefinementOptions {
+  /// Only the top candidates of the input ranking are re-scored (each
+  /// costs |S|+1 detector invocations); the rest keep their order below.
+  int max_candidates = 20;
+};
+
+/// Dimension-based explanation quality (the paper's §6 pointer to
+/// Trittenbach & Böhm, "Dimension-based subspace search for outlier
+/// detection", 2019): instead of scoring a subspace by the point's
+/// outlyingness alone, score it by the *incremental gain* of its last
+/// dimension —
+///
+///   quality(S) = z_p(S) - max_{f in S} z_p(S \ {f})
+///
+/// i.e. how much of the point's outlyingness exists only in the full
+/// subspace and not in any of its one-smaller projections. A subspace
+/// padded with an irrelevant feature keeps its score when that feature is
+/// dropped (gain ~ 0), while a minimal explaining subspace loses it
+/// (gain large) — exactly the augmentation/exact-subspace ambiguity that
+/// caps score-ranked MAP on subspace-outlier data.
+///
+/// `RefineByDimensionalGain` re-ranks a fixed-dimensionality candidate
+/// list (e.g. Beam's or RefOut's output) by this quality; candidates
+/// beyond `max_candidates` are appended unchanged after the refined head.
+RankedSubspaces RefineByDimensionalGain(
+    const Dataset& data, const Detector& detector, int point,
+    const RankedSubspaces& candidates,
+    const DimensionRefinementOptions& options = {});
+
+/// The quality measure itself, for a single subspace (|S| >= 2).
+double DimensionalGain(const Dataset& data, const Detector& detector,
+                       int point, const Subspace& subspace);
+
+}  // namespace subex
+
+#endif  // SUBEX_EXPLAIN_DIMENSION_REFINEMENT_H_

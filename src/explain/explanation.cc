@@ -1,0 +1,26 @@
+#include "explain/explanation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace subex {
+
+void RankedSubspaces::SortDescendingAndTruncate(std::size_t max_results) {
+  std::vector<int> order(subspaces.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](int a, int b) { return scores[a] > scores[b]; });
+  if (order.size() > max_results) order.resize(max_results);
+  std::vector<Subspace> new_subspaces;
+  std::vector<double> new_scores;
+  new_subspaces.reserve(order.size());
+  new_scores.reserve(order.size());
+  for (int i : order) {
+    new_subspaces.push_back(std::move(subspaces[i]));
+    new_scores.push_back(scores[i]);
+  }
+  subspaces = std::move(new_subspaces);
+  scores = std::move(new_scores);
+}
+
+}  // namespace subex

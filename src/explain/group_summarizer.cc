@@ -1,0 +1,126 @@
+#include "explain/group_summarizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace subex {
+namespace {
+
+// A point's explanation fingerprint: subspace -> rank weight (1/rank).
+using Fingerprint = std::map<Subspace, double>;
+
+double Cosine(const Fingerprint& a, const Fingerprint& b) {
+  double dot = 0.0;
+  for (const auto& [subspace, weight] : a) {
+    const auto it = b.find(subspace);
+    if (it != b.end()) dot += weight * it->second;
+  }
+  if (dot == 0.0) return 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (const auto& [subspace, weight] : a) norm_a += weight * weight;
+  for (const auto& [subspace, weight] : b) norm_b += weight * weight;
+  return dot / std::sqrt(norm_a * norm_b);
+}
+
+int Find(std::vector<int>& parent, int x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+void Union(std::vector<int>& parent, int a, int b) {
+  parent[Find(parent, a)] = Find(parent, b);
+}
+
+}  // namespace
+
+std::vector<OutlierGroup> GroupAndCharacterize(
+    const Dataset& data, const Detector& detector,
+    const PointExplainer& explainer, const std::vector<int>& points,
+    int target_dim, const GroupSummarizerOptions& options) {
+  SUBEX_CHECK(!points.empty());
+  SUBEX_CHECK(options.subspaces_per_point >= 1);
+  SUBEX_CHECK(options.min_similarity > 0.0 && options.min_similarity <= 1.0);
+  SUBEX_CHECK(options.max_characterizing >= 1);
+
+  // Rank-weighted explanation fingerprints.
+  const int n = static_cast<int>(points.size());
+  std::vector<Fingerprint> fingerprints(n);
+  for (int i = 0; i < n; ++i) {
+    const RankedSubspaces ranked =
+        explainer.Explain(data, detector, points[i], target_dim);
+    const std::size_t take = std::min<std::size_t>(
+        options.subspaces_per_point, ranked.size());
+    for (std::size_t r = 0; r < take; ++r) {
+      // Weight by the explainer's own score (clamped at 0): a runner-up
+      // subspace the point barely registers in contributes ~nothing, so
+      // groups are driven by the subspaces that genuinely explain their
+      // members. The top subspace always enters with positive weight.
+      double weight = std::max(0.0, ranked.scores[r]);
+      if (r == 0) weight = std::max(weight, 1e-6);
+      if (weight > 0.0) fingerprints[i][ranked.subspaces[r]] = weight;
+    }
+  }
+
+  // Transitive merge of points with similar fingerprints.
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (Cosine(fingerprints[i], fingerprints[j]) >=
+          options.min_similarity) {
+        Union(parent, i, j);
+      }
+    }
+  }
+
+  // Collect groups and characterize each by total fingerprint weight.
+  std::map<int, std::vector<int>> members;  // root -> local indices.
+  for (int i = 0; i < n; ++i) members[Find(parent, i)].push_back(i);
+
+  std::vector<OutlierGroup> groups;
+  groups.reserve(members.size());
+  for (const auto& [root, locals] : members) {
+    OutlierGroup group;
+    std::map<Subspace, double> support;
+    for (int i : locals) {
+      group.points.push_back(points[i]);
+      for (const auto& [subspace, weight] : fingerprints[i]) {
+        support[subspace] += weight;
+      }
+    }
+    std::sort(group.points.begin(), group.points.end());
+    // Highest total weight first; ties broken by subspace order so the
+    // result is deterministic.
+    std::vector<std::pair<double, Subspace>> ranked;
+    ranked.reserve(support.size());
+    for (const auto& [subspace, weight] : support) {
+      ranked.emplace_back(-weight, subspace);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    const std::size_t take = std::min<std::size_t>(
+        options.max_characterizing, ranked.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      group.characterizing_subspaces.push_back(ranked[i].second);
+    }
+    groups.push_back(std::move(group));
+  }
+  // Largest groups first; ties by first member for determinism.
+  std::sort(groups.begin(), groups.end(),
+            [](const OutlierGroup& a, const OutlierGroup& b) {
+              if (a.points.size() != b.points.size()) {
+                return a.points.size() > b.points.size();
+              }
+              return a.points.front() < b.points.front();
+            });
+  return groups;
+}
+
+}  // namespace subex

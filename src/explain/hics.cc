@@ -1,0 +1,150 @@
+#include "explain/hics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/topk.h"
+#include "stats/descriptive.h"
+#include "subspace/enumeration.h"
+
+namespace subex {
+
+Hics::Hics(const Options& options) : options_(options) {
+  SUBEX_CHECK(options.candidate_cutoff >= 1);
+  SUBEX_CHECK(options.alpha > 0.0 && options.alpha < 1.0);
+  SUBEX_CHECK(options.mc_iterations >= 1);
+  SUBEX_CHECK(options.max_results >= 1);
+}
+
+double Hics::Contrast(const Dataset& data, const Subspace& subspace) const {
+  const int n = static_cast<int>(data.num_points());
+  const int m = static_cast<int>(subspace.size());
+  SUBEX_CHECK(m >= 2);
+  SUBEX_CHECK(n >= 10);
+
+  Rng rng(options_.seed ^ SubspaceHash()(subspace));
+  // Adaptive slice size: each of the m-1 conditioning features keeps an
+  // alpha^(1/(m-1)) fraction, so the intersection keeps ~alpha * n points.
+  const double keep_fraction =
+      std::pow(options_.alpha, 1.0 / static_cast<double>(m - 1));
+  const int window =
+      std::max(2, static_cast<int>(std::lround(keep_fraction * n)));
+
+  const std::vector<FeatureId>& features = subspace.features();
+  std::vector<int> in_slice_count(n);
+  std::vector<double> conditional;
+  conditional.reserve(n);
+
+  double deviation_sum = 0.0;
+  int valid_iterations = 0;
+  for (int iter = 0; iter < options_.mc_iterations; ++iter) {
+    const int test_local = rng.UniformInt(0, m - 1);
+    const FeatureId test_feature = features[test_local];
+
+    std::fill(in_slice_count.begin(), in_slice_count.end(), 0);
+    for (int j = 0; j < m; ++j) {
+      if (j == test_local) continue;
+      const std::vector<int>& order = data.SortedIndexByFeature(features[j]);
+      const int start = rng.UniformInt(0, n - window);
+      for (int t = start; t < start + window; ++t) ++in_slice_count[order[t]];
+    }
+
+    conditional.clear();
+    for (int p = 0; p < n; ++p) {
+      if (in_slice_count[p] == m - 1) {
+        conditional.push_back(data.Value(p, test_feature));
+      }
+    }
+    if (conditional.size() < 5) continue;  // Degenerate slice; skip.
+
+    // Deviation of the conditional sample from the marginal, in [0, 1].
+    // p-values saturate at ~1 for *any* real dependence once n is large,
+    // which would tie all dependent subspaces; the statistic magnitudes
+    // below keep the ordering informative:
+    //  * KS: the supremum CDF distance D (the original HiCS measure);
+    //  * Welch: the standardized mean difference |mean_c - mean_m| / sd_m,
+    //    soft-clamped into [0, 1).
+    const std::vector<double> marginal = data.matrix().Column(test_feature);
+    double deviation = 0.0;
+    if (options_.test == TwoSampleTestKind::kKolmogorovSmirnov) {
+      deviation = KolmogorovSmirnovTest(conditional, marginal).statistic;
+    } else {
+      const double sd = std::max(1e-9, SampleStdDev(marginal));
+      const double smd =
+          std::fabs(Mean(conditional) - Mean(marginal)) / sd;
+      deviation = smd / (1.0 + smd);
+    }
+    deviation_sum += deviation;
+    ++valid_iterations;
+  }
+  return valid_iterations > 0
+             ? deviation_sum / static_cast<double>(valid_iterations)
+             : 0.0;
+}
+
+RankedSubspaces Hics::Summarize(const Dataset& data, const Detector& detector,
+                                const std::vector<int>& points,
+                                int target_dim) const {
+  const int d = static_cast<int>(data.num_features());
+  SUBEX_CHECK(target_dim >= 2 && target_dim <= d);
+  SUBEX_CHECK(!points.empty());
+
+  // Stage 2: exhaustive contrast of all feature pairs.
+  std::vector<Subspace> stage = EnumerateSubspaces(d, 2);
+  std::vector<double> stage_contrast(stage.size());
+  for (std::size_t i = 0; i < stage.size(); ++i) {
+    stage_contrast[i] = Contrast(data, stage[i]);
+  }
+
+  auto keep_top = [&](int width) {
+    const std::vector<int> top =
+        TopKIndices(stage_contrast, static_cast<std::size_t>(width));
+    std::vector<Subspace> kept;
+    std::vector<double> kept_contrast;
+    kept.reserve(top.size());
+    kept_contrast.reserve(top.size());
+    for (int i : top) {
+      kept.push_back(std::move(stage[i]));
+      kept_contrast.push_back(stage_contrast[i]);
+    }
+    stage = std::move(kept);
+    stage_contrast = std::move(kept_contrast);
+  };
+  keep_top(options_.candidate_cutoff);
+
+  // Later stages: extend survivors by one feature and re-measure contrast.
+  for (int dim = 3; dim <= target_dim; ++dim) {
+    std::vector<Subspace> candidates = ExtendByOneFeature(stage, d);
+    stage = std::move(candidates);
+    stage_contrast.resize(stage.size());
+    for (std::size_t i = 0; i < stage.size(); ++i) {
+      stage_contrast[i] = Contrast(data, stage[i]);
+    }
+    keep_top(options_.candidate_cutoff);
+  }
+
+  // _FX output: subspaces of exactly target_dim, top max_results by
+  // contrast, finally ordered per the configured ranking.
+  keep_top(options_.max_results);
+  RankedSubspaces result;
+  if (options_.ranking == Ranking::kContrast) {
+    for (std::size_t i = 0; i < stage.size(); ++i) {
+      result.Add(std::move(stage[i]), stage_contrast[i]);
+    }
+  } else {
+    for (Subspace& candidate : stage) {
+      const std::vector<double> scores =
+          ScoreStandardized(detector, data, candidate);
+      double sum = 0.0;
+      for (int p : points) sum += scores[p];
+      result.Add(std::move(candidate),
+                 sum / static_cast<double>(points.size()));
+    }
+  }
+  result.SortDescendingAndTruncate(options_.max_results);
+  return result;
+}
+
+}  // namespace subex

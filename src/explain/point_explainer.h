@@ -1,0 +1,37 @@
+#ifndef SUBEX_EXPLAIN_POINT_EXPLAINER_H_
+#define SUBEX_EXPLAIN_POINT_EXPLAINER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "detect/detector.h"
+#include "explain/explanation.h"
+
+namespace subex {
+
+/// Point explanation algorithm interface (§2.2): ranks the subspaces that
+/// best explain the outlyingness of one individual point.
+///
+/// Following the paper's fixed-dimensionality comparison protocol (the
+/// `_FX` convention), `Explain` returns only subspaces of exactly
+/// `target_dim` features. Implementations are deterministic given their
+/// construction-time seed and must not mutate shared state in `Explain`
+/// (pipelines may explain different points concurrently).
+class PointExplainer {
+ public:
+  virtual ~PointExplainer() = default;
+
+  /// Short human-readable name ("Beam", "RefOut").
+  virtual std::string name() const = 0;
+
+  /// Ranks subspaces of exactly `target_dim` features (2 <= target_dim <=
+  /// num_features) explaining why `point` is outlying, best first, using
+  /// `detector` as the outlyingness criterion.
+  virtual RankedSubspaces Explain(const Dataset& data,
+                                  const Detector& detector, int point,
+                                  int target_dim) const = 0;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_EXPLAIN_POINT_EXPLAINER_H_

@@ -1,0 +1,38 @@
+#ifndef SUBEX_EXPLAIN_SUMMARIZER_H_
+#define SUBEX_EXPLAIN_SUMMARIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "detect/detector.h"
+#include "explain/explanation.h"
+
+namespace subex {
+
+/// Explanation summarization algorithm interface (§2.3): ranks the
+/// subspaces that collectively distinguish as many of the given outlier
+/// points from the inliers as possible.
+///
+/// As with point explainers, the testbed's fixed-dimensionality comparison
+/// protocol applies: `Summarize` returns only subspaces of exactly
+/// `target_dim` features (the `_FX` convention for HiCS).
+class Summarizer {
+ public:
+  virtual ~Summarizer() = default;
+
+  /// Short human-readable name ("LookOut", "HiCS").
+  virtual std::string name() const = 0;
+
+  /// Ranks subspaces of exactly `target_dim` features that summarize the
+  /// outlyingness of `points`, best first. `detector` supplies the
+  /// outlyingness criterion (LookOut) or the final ranking (HiCS).
+  virtual RankedSubspaces Summarize(const Dataset& data,
+                                    const Detector& detector,
+                                    const std::vector<int>& points,
+                                    int target_dim) const = 0;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_EXPLAIN_SUMMARIZER_H_

@@ -1,0 +1,80 @@
+#include "explain/surrogate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/topk.h"
+#include "subspace/enumeration.h"
+
+namespace subex {
+
+SurrogateExplainer::SurrogateExplainer(const Options& options)
+    : options_(options) {
+  SUBEX_CHECK(options.candidate_features >= 1);
+  SUBEX_CHECK(options.max_results >= 1);
+}
+
+RegressionTree SurrogateExplainer::FitSurrogate(
+    const Dataset& data, const Detector& detector) const {
+  const std::vector<double> scores = detector.Score(data, Subspace());
+  RegressionTree tree;
+  tree.Fit(data.matrix(), scores, options_.tree);
+  return tree;
+}
+
+double SurrogateExplainer::Fidelity(const Dataset& data,
+                                    const Detector& detector) const {
+  const std::vector<double> scores = detector.Score(data, Subspace());
+  RegressionTree tree;
+  tree.Fit(data.matrix(), scores, options_.tree);
+  return tree.RSquared(data.matrix(), scores);
+}
+
+RankedSubspaces SurrogateExplainer::Explain(const Dataset& data,
+                                            const Detector& detector,
+                                            int point,
+                                            int target_dim) const {
+  const int d = static_cast<int>(data.num_features());
+  SUBEX_CHECK(target_dim >= 1 && target_dim <= d);
+  SUBEX_CHECK(point >= 0 &&
+              static_cast<std::size_t>(point) < data.num_points());
+
+  const RegressionTree tree = FitSurrogate(data, detector);
+  const std::vector<double> importance = tree.FeatureImportances();
+  const std::vector<int> signature =
+      tree.DecisionPathFeatures(data.matrix().Row(point));
+
+  // Feature weights: global importance plus a strong, depth-decaying bonus
+  // for the point's own predictive signature.
+  std::vector<double> weight(importance);
+  double bonus = 1.0;
+  for (int f : signature) {
+    weight[f] += bonus;
+    bonus *= 0.7;
+  }
+
+  // Candidate features: the top-weighted ones (always at least target_dim).
+  const int k = std::min(
+      d, std::max(target_dim, options_.candidate_features));
+  const std::vector<int> top_features = TopKIndices(weight, k);
+
+  // All target_dim-subsets of the candidate features, ranked by total
+  // weight. C(k, dim) stays tiny for the default k.
+  const std::vector<Subspace> local =
+      EnumerateSubspaces(k, target_dim);
+  RankedSubspaces result;
+  for (const Subspace& pattern : local) {
+    std::vector<FeatureId> features;
+    double total = 0.0;
+    for (FeatureId local_id : pattern.features()) {
+      const int f = top_features[local_id];
+      features.push_back(f);
+      total += weight[f];
+    }
+    result.Add(Subspace(std::move(features)), total);
+  }
+  result.SortDescendingAndTruncate(options_.max_results);
+  return result;
+}
+
+}  // namespace subex

@@ -1,0 +1,64 @@
+#ifndef SUBEX_EXPLAIN_SURROGATE_H_
+#define SUBEX_EXPLAIN_SURROGATE_H_
+
+#include "explain/point_explainer.h"
+#include "ml/regression_tree.h"
+
+namespace subex {
+
+/// Surrogate-model point explainer — the paper's §6 future-work proposal,
+/// implemented: "build a surrogate model to predict the scores of points
+/// produced by an unsupervised outlier detector and approximate its
+/// decision boundary using minimal predictive signatures."
+///
+/// Pipeline per `Explain` call:
+///  1. Score every point with the detector in the full feature space
+///     (one detector invocation — this is the whole cost advantage over
+///     subspace search, which needs thousands).
+///  2. Fit a CART regression tree approximating the score surface.
+///  3. The explained point's *predictive signature* is the feature set on
+///     its root-to-leaf decision path; features are weighted by the
+///     signature (path order) plus the tree's global importances.
+///  4. Candidate subspaces of the requested dimensionality are assembled
+///     from the top-weighted features and ranked by total feature weight.
+///
+/// Compared to Beam/RefOut this trades exactness for speed: no per-point
+/// subspace search, a single detector call for the whole batch of points
+/// (the tree is refit per call to keep `Explain` pure, but the dominant
+/// cost — the full-space scoring — is one `Score`). See
+/// `bench_surrogate_explainer` for the quality/speed trade-off.
+class SurrogateExplainer final : public PointExplainer {
+ public:
+  struct Options {
+    RegressionTreeOptions tree;
+    /// Number of top-weighted features combined into candidate subspaces.
+    int candidate_features = 8;
+    /// Maximum subspaces returned.
+    int max_results = 100;
+  };
+
+  /// Builds the explainer with the given options.
+  explicit SurrogateExplainer(const Options& options);
+  /// Builds the explainer with default tree/candidate settings.
+  SurrogateExplainer() : SurrogateExplainer(Options{}) {}
+
+  std::string name() const override { return "Surrogate"; }
+  RankedSubspaces Explain(const Dataset& data, const Detector& detector,
+                          int point, int target_dim) const override;
+
+  /// Convenience: the fitted surrogate's fidelity (R^2 against the
+  /// detector's full-space scores) for diagnostics.
+  double Fidelity(const Dataset& data, const Detector& detector) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  RegressionTree FitSurrogate(const Dataset& data,
+                              const Detector& detector) const;
+
+  Options options_;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_EXPLAIN_SURROGATE_H_

@@ -1,0 +1,181 @@
+#include "ml/regression_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace subex {
+namespace {
+
+double MeanOf(std::span<const double> y, const std::vector<int>& rows) {
+  double sum = 0.0;
+  for (int r : rows) sum += y[r];
+  return rows.empty() ? 0.0 : sum / static_cast<double>(rows.size());
+}
+
+}  // namespace
+
+void RegressionTree::Fit(const Matrix& x, std::span<const double> y,
+                         const RegressionTreeOptions& options) {
+  SUBEX_CHECK(x.rows() == y.size());
+  SUBEX_CHECK(x.rows() >= 1);
+  SUBEX_CHECK(options.max_depth >= 0);
+  SUBEX_CHECK(options.min_samples_per_leaf >= 1);
+  nodes_.clear();
+  num_features_ = x.cols();
+  std::vector<int> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  Build(x, y, rows, 0, options);
+}
+
+int RegressionTree::Build(const Matrix& x, std::span<const double> y,
+                          std::vector<int>& rows, int depth,
+                          const RegressionTreeOptions& options) {
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[index].value = MeanOf(y, rows);
+
+  const int n = static_cast<int>(rows.size());
+  if (depth >= options.max_depth ||
+      n < 2 * options.min_samples_per_leaf) {
+    return index;
+  }
+
+  // Parent sum of squared deviations.
+  double parent_sum = 0.0;
+  double parent_sum_sq = 0.0;
+  for (int r : rows) {
+    parent_sum += y[r];
+    parent_sum_sq += y[r] * y[r];
+  }
+  const double parent_ss =
+      parent_sum_sq - parent_sum * parent_sum / static_cast<double>(n);
+  if (parent_ss <= options.min_gain) return index;  // Already pure.
+
+  // Best split: minimize left_ss + right_ss.
+  double best_gain = options.min_gain;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  std::vector<int> order(rows);
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return x(a, f) < x(b, f);
+    });
+    double left_sum = 0.0;
+    double left_sum_sq = 0.0;
+    for (int i = 0; i < n - 1; ++i) {
+      const int r = order[i];
+      left_sum += y[r];
+      left_sum_sq += y[r] * y[r];
+      const int left_count = i + 1;
+      const int right_count = n - left_count;
+      if (left_count < options.min_samples_per_leaf ||
+          right_count < options.min_samples_per_leaf) {
+        continue;
+      }
+      // No split between equal feature values.
+      if (x(order[i], f) == x(order[i + 1], f)) continue;
+      const double right_sum = parent_sum - left_sum;
+      const double right_sum_sq = parent_sum_sq - left_sum_sq;
+      const double left_ss =
+          left_sum_sq - left_sum * left_sum / left_count;
+      const double right_ss =
+          right_sum_sq - right_sum * right_sum / right_count;
+      const double gain = parent_ss - left_ss - right_ss;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (x(order[i], f) + x(order[i + 1], f));
+      }
+    }
+  }
+  if (best_feature < 0) return index;
+
+  std::vector<int> left_rows;
+  std::vector<int> right_rows;
+  for (int r : rows) {
+    (x(r, best_feature) < best_threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  const int left = Build(x, y, left_rows, depth + 1, options);
+  const int right = Build(x, y, right_rows, depth + 1, options);
+  nodes_[index].feature = best_feature;
+  nodes_[index].threshold = best_threshold;
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  nodes_[index].gain = best_gain;
+  return index;
+}
+
+double RegressionTree::Predict(std::span<const double> row) const {
+  SUBEX_CHECK_MSG(!nodes_.empty(), "Predict before Fit");
+  SUBEX_CHECK(row.size() == num_features_);
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = row[nodes_[node].feature] < nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+std::vector<double> RegressionTree::PredictAll(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.Row(r));
+  return out;
+}
+
+std::vector<double> RegressionTree::FeatureImportances() const {
+  std::vector<double> importance(num_features_, 0.0);
+  double total = 0.0;
+  for (const Node& node : nodes_) {
+    if (node.feature >= 0) {
+      importance[node.feature] += node.gain;
+      total += node.gain;
+    }
+  }
+  if (total > 0.0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+std::vector<int> RegressionTree::DecisionPathFeatures(
+    std::span<const double> row) const {
+  SUBEX_CHECK_MSG(!nodes_.empty(), "DecisionPathFeatures before Fit");
+  SUBEX_CHECK(row.size() == num_features_);
+  std::vector<int> path;
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    const int f = nodes_[node].feature;
+    if (std::find(path.begin(), path.end(), f) == path.end()) {
+      path.push_back(f);
+    }
+    node = row[f] < nodes_[node].threshold ? nodes_[node].left
+                                           : nodes_[node].right;
+  }
+  return path;
+}
+
+double RegressionTree::RSquared(const Matrix& x,
+                                std::span<const double> y) const {
+  SUBEX_CHECK(x.rows() == y.size());
+  SUBEX_CHECK(!y.empty());
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double ss_total = 0.0;
+  double ss_residual = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double err = y[r] - Predict(x.Row(r));
+    ss_residual += err * err;
+    ss_total += (y[r] - mean) * (y[r] - mean);
+  }
+  if (ss_total <= 0.0) return ss_residual <= 1e-12 ? 1.0 : 0.0;
+  return 1.0 - ss_residual / ss_total;
+}
+
+}  // namespace subex

@@ -1,0 +1,81 @@
+#ifndef SUBEX_ML_REGRESSION_TREE_H_
+#define SUBEX_ML_REGRESSION_TREE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace subex {
+
+/// Options of the CART regression tree.
+struct RegressionTreeOptions {
+  int max_depth = 6;
+  /// A split is accepted only if both children hold at least this many
+  /// samples.
+  int min_samples_per_leaf = 5;
+  /// Minimum variance-reduction gain to split further.
+  double min_gain = 1e-9;
+};
+
+/// CART regression tree (variance-reduction splits, axis-aligned
+/// thresholds).
+///
+/// The substrate of the surrogate explainer (the paper's §6 future-work
+/// direction): it approximates an unsupervised detector's score surface
+/// with an interpretable model whose root-to-leaf paths are *minimal
+/// predictive signatures* — the features that explain a point's predicted
+/// outlyingness.
+class RegressionTree {
+ public:
+  RegressionTree() = default;
+
+  /// Fits the tree on rows of `x` against targets `y`
+  /// (`y.size() == x.rows()`). Refitting replaces the previous tree.
+  void Fit(const Matrix& x, std::span<const double> y,
+           const RegressionTreeOptions& options = {});
+
+  /// Predicted target for a feature row (length = trained width).
+  double Predict(std::span<const double> row) const;
+
+  /// Predictions for every row of `x`.
+  std::vector<double> PredictAll(const Matrix& x) const;
+
+  /// Per-feature importance: total variance reduction contributed by the
+  /// splits on each feature, normalized to sum to 1 (all zeros if the tree
+  /// is a single leaf).
+  std::vector<double> FeatureImportances() const;
+
+  /// Distinct features tested on the root-to-leaf decision path of `row`,
+  /// in encounter order (the point's predictive signature).
+  std::vector<int> DecisionPathFeatures(std::span<const double> row) const;
+
+  /// Coefficient of determination (R^2) of the fit on (x, y); 1 = perfect.
+  double RSquared(const Matrix& x, std::span<const double> y) const;
+
+  /// Number of nodes (1 for a stump/leaf); 0 before `Fit`.
+  std::size_t num_nodes() const { return nodes_.size(); }
+  /// Number of features the tree was trained on.
+  std::size_t num_features() const { return num_features_; }
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 marks a leaf.
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;  // Leaf prediction.
+    double gain = 0.0;   // Variance reduction of this split (0 for leaves).
+  };
+
+  int Build(const Matrix& x, std::span<const double> y,
+            std::vector<int>& rows, int depth,
+            const RegressionTreeOptions& options);
+
+  std::vector<Node> nodes_;
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_ML_REGRESSION_TREE_H_

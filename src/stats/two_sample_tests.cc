@@ -1,0 +1,105 @@
+#include "stats/two_sample_tests.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+#include "stats/special_functions.h"
+
+namespace subex {
+
+TestResult WelchTTest(std::span<const double> sample_a,
+                      std::span<const double> sample_b) {
+  TestResult result;
+  const std::size_t na = sample_a.size();
+  const std::size_t nb = sample_b.size();
+  if (na < 2 || nb < 2) return result;
+
+  const double mean_a = Mean(sample_a);
+  const double mean_b = Mean(sample_b);
+  const double var_a = SampleVariance(sample_a);
+  const double var_b = SampleVariance(sample_b);
+  const double se_a = var_a / static_cast<double>(na);
+  const double se_b = var_b / static_cast<double>(nb);
+  const double pooled = se_a + se_b;
+  if (pooled < 1e-300) {
+    // Both samples are (numerically) constant: equal means iff means match.
+    result.p_value = (mean_a == mean_b) ? 1.0 : 0.0;
+    result.statistic = (mean_a == mean_b) ? 0.0 : INFINITY;
+    return result;
+  }
+
+  result.statistic = (mean_a - mean_b) / std::sqrt(pooled);
+  // Welch-Satterthwaite degrees of freedom.
+  const double df_num = pooled * pooled;
+  const double df_den =
+      se_a * se_a / static_cast<double>(na - 1) +
+      se_b * se_b / static_cast<double>(nb - 1);
+  result.degrees_of_freedom = df_num / df_den;
+  result.p_value =
+      StudentTTwoSidedPValue(result.statistic, result.degrees_of_freedom);
+  return result;
+}
+
+TestResult KolmogorovSmirnovTest(std::span<const double> sample_a,
+                                 std::span<const double> sample_b) {
+  TestResult result;
+  const std::size_t na = sample_a.size();
+  const std::size_t nb = sample_b.size();
+  if (na == 0 || nb == 0) return result;
+
+  std::vector<double> a(sample_a.begin(), sample_a.end());
+  std::vector<double> b(sample_b.begin(), sample_b.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+
+  // Walk both sorted samples computing the supremum of |F_a - F_b|.
+  double d = 0.0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < na && ib < nb) {
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < na && a[ia] <= x) ++ia;
+    while (ib < nb && b[ib] <= x) ++ib;
+    const double fa = static_cast<double>(ia) / static_cast<double>(na);
+    const double fb = static_cast<double>(ib) / static_cast<double>(nb);
+    d = std::max(d, std::fabs(fa - fb));
+  }
+  result.statistic = d;
+
+  const double en = std::sqrt(static_cast<double>(na) *
+                              static_cast<double>(nb) /
+                              static_cast<double>(na + nb));
+  // Asymptotic p-value with the small-sample correction of Stephens (1970),
+  // the same form scipy's 'asymp' mode uses.
+  result.p_value =
+      KolmogorovComplementaryCdf((en + 0.12 + 0.11 / en) * d);
+  return result;
+}
+
+TestResult RunTwoSampleTest(TwoSampleTestKind kind,
+                            std::span<const double> sample_a,
+                            std::span<const double> sample_b) {
+  switch (kind) {
+    case TwoSampleTestKind::kWelch:
+      return WelchTTest(sample_a, sample_b);
+    case TwoSampleTestKind::kKolmogorovSmirnov:
+      return KolmogorovSmirnovTest(sample_a, sample_b);
+  }
+  SUBEX_CHECK_MSG(false, "unknown test kind");
+  return {};
+}
+
+const char* TwoSampleTestKindName(TwoSampleTestKind kind) {
+  switch (kind) {
+    case TwoSampleTestKind::kWelch:
+      return "welch";
+    case TwoSampleTestKind::kKolmogorovSmirnov:
+      return "ks";
+  }
+  return "unknown";
+}
+
+}  // namespace subex

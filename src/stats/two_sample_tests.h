@@ -1,0 +1,51 @@
+#ifndef SUBEX_STATS_TWO_SAMPLE_TESTS_H_
+#define SUBEX_STATS_TWO_SAMPLE_TESTS_H_
+
+#include <span>
+
+namespace subex {
+
+/// Result of a two-sample hypothesis test.
+struct TestResult {
+  /// Test statistic: Welch's t (signed) or the KS supremum distance D.
+  double statistic = 0.0;
+  /// Degrees of freedom (Welch-Satterthwaite approximation); 0 for KS.
+  double degrees_of_freedom = 0.0;
+  /// Two-sided p-value under the null hypothesis of equal distributions /
+  /// means. In [0, 1].
+  double p_value = 1.0;
+};
+
+/// Welch's unequal-variances t-test [Welch 1938] under the null hypothesis
+/// that both samples have equal means. This is the discrepancy measure used
+/// by RefOut (feature importance) and one of the two deviation measures of
+/// HiCS. Degenerate inputs (either sample smaller than 2, or both variances
+/// zero) yield statistic 0 / p-value 1.
+TestResult WelchTTest(std::span<const double> sample_a,
+                      std::span<const double> sample_b);
+
+/// Two-sample Kolmogorov-Smirnov test under the null hypothesis that both
+/// samples originate from the same distribution, with the asymptotic
+/// Kolmogorov p-value. The alternative deviation measure of HiCS.
+/// Degenerate inputs (either sample empty) yield statistic 0 / p-value 1.
+TestResult KolmogorovSmirnovTest(std::span<const double> sample_a,
+                                 std::span<const double> sample_b);
+
+/// Which two-sample test a statistical component should use. The paper runs
+/// HiCS and RefOut with Welch's t-test, and HiCS optionally with KS.
+enum class TwoSampleTestKind {
+  kWelch,
+  kKolmogorovSmirnov,
+};
+
+/// Dispatches on `kind`.
+TestResult RunTwoSampleTest(TwoSampleTestKind kind,
+                            std::span<const double> sample_a,
+                            std::span<const double> sample_b);
+
+/// Human-readable name ("welch" / "ks").
+const char* TwoSampleTestKindName(TwoSampleTestKind kind);
+
+}  // namespace subex
+
+#endif  // SUBEX_STATS_TWO_SAMPLE_TESTS_H_

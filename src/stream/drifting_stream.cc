@@ -1,0 +1,82 @@
+#include "stream/drifting_stream.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace subex {
+namespace {
+
+// Chunks per concept buffer (how many chunks one generated dataset feeds).
+int ChunksPerEpoch(const DriftingStreamConfig& config) {
+  return config.drift_every_chunks > 0 ? config.drift_every_chunks : 8;
+}
+
+}  // namespace
+
+DriftingStreamGenerator::DriftingStreamGenerator(
+    const DriftingStreamConfig& config)
+    : config_(config) {
+  SUBEX_CHECK(config.chunk_size >= 50);
+  SUBEX_CHECK(config.outliers_per_chunk >= 1);
+  SUBEX_CHECK(!config.subspace_dims.empty());
+  num_features_ = std::accumulate(config.subspace_dims.begin(),
+                                  config.subspace_dims.end(), 0);
+  concept_seed_ = config.seed;
+  StartNewConcept();
+}
+
+void DriftingStreamGenerator::StartNewConcept() {
+  ++concept_epoch_;
+  concept_seed_ = concept_seed_ * 6364136223846793005ull + 1442695040888963407ull;
+}
+
+StreamChunk DriftingStreamGenerator::Next() {
+  const int chunks_per_epoch = ChunksPerEpoch(config_);
+  const int epoch_position = chunks_emitted_ % chunks_per_epoch;
+  if (epoch_position == 0 && chunks_emitted_ > 0 &&
+      config_.drift_every_chunks > 0) {
+    StartNewConcept();
+  }
+
+  // Generate the epoch buffer once per concept; the concept structure AND
+  // points are a pure function of the concept seed.
+  if (epoch_ == nullptr || epoch_position == 0) {
+    HicsGeneratorConfig generator_config;
+    generator_config.num_points = config_.chunk_size * chunks_per_epoch;
+    generator_config.subspace_dims = config_.subspace_dims;
+    generator_config.outliers_per_subspace = std::max(
+        1, static_cast<int>(config_.outliers_per_chunk) * chunks_per_epoch /
+               static_cast<int>(config_.subspace_dims.size()));
+    generator_config.seed = concept_seed_;
+    epoch_ = std::make_unique<SyntheticDataset>(
+        GenerateHicsDataset(generator_config));
+    relevant_ = epoch_->relevant_subspaces;
+  }
+  const SyntheticDataset& epoch = *epoch_;
+
+  // Slice this chunk out of the epoch buffer.
+  StreamChunk chunk;
+  chunk.start_id = next_start_id_;
+  chunk.concept_epoch = concept_epoch_;
+  const int begin = epoch_position * config_.chunk_size;
+  const int end = begin + config_.chunk_size;
+  std::vector<int> rows(config_.chunk_size);
+  std::iota(rows.begin(), rows.end(), begin);
+  chunk.points = epoch.dataset.matrix().SelectRows(rows);
+  for (int p : epoch.dataset.outlier_indices()) {
+    if (p < begin || p >= end) continue;
+    const int local = p - begin;
+    chunk.outlier_indices.push_back(local);
+    for (const Subspace& s : epoch.ground_truth.RelevantFor(p)) {
+      chunk.ground_truth.Add(local, s);
+    }
+  }
+
+  ++chunks_emitted_;
+  next_start_id_ += config_.chunk_size;
+  return chunk;
+}
+
+}  // namespace subex

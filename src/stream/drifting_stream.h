@@ -1,0 +1,78 @@
+#ifndef SUBEX_STREAM_DRIFTING_STREAM_H_
+#define SUBEX_STREAM_DRIFTING_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/generators.h"
+
+namespace subex {
+
+/// One batch of a drifting stream: the points, which of them are planted
+/// outliers, and the subspaces that explain them under the *current*
+/// concept.
+struct StreamChunk {
+  /// Index of the first point of this chunk in the stream.
+  std::int64_t start_id = 0;
+  Matrix points;
+  /// Chunk-relative indices of planted outliers.
+  std::vector<int> outlier_indices;
+  /// Chunk-relative ground truth (relevant subspaces per outlier).
+  GroundTruth ground_truth;
+  /// Concept epoch (increments at every drift).
+  int concept_epoch = 0;
+};
+
+/// Configuration of the drifting subspace-outlier stream.
+struct DriftingStreamConfig {
+  int chunk_size = 200;
+  /// Outliers planted per chunk.
+  int outliers_per_chunk = 5;
+  /// A concept drift (re-randomized subspace structure over the same
+  /// features) happens every this many chunks; 0 = never.
+  int drift_every_chunks = 5;
+  /// Relevant-subspace sizes of each concept (features = their sum).
+  std::vector<int> subspace_dims = {2, 3};
+  std::uint64_t seed = 42;
+};
+
+/// Generates an endless stream of chunks with subspace outliers whose
+/// explaining subspaces change at concept drifts — the §6 scenario: the
+/// data keeps coming from "the same generative process" between drifts,
+/// yet explanations are descriptive and must be recomputed per batch, and
+/// become *wrong* after a drift.
+///
+/// Implementation: each concept is a fresh `GenerateHicsDataset` structure
+/// over the same feature space; chunks sample from the concept's
+/// generator.
+class DriftingStreamGenerator {
+ public:
+  explicit DriftingStreamGenerator(const DriftingStreamConfig& config);
+
+  /// Produces the next chunk (advances the stream).
+  StreamChunk Next();
+
+  /// Number of features of every chunk.
+  int num_features() const { return num_features_; }
+  /// Current concept's relevant subspaces.
+  const std::vector<Subspace>& current_relevant_subspaces() const {
+    return relevant_;
+  }
+
+ private:
+  void StartNewConcept();
+
+  DriftingStreamConfig config_;
+  int num_features_ = 0;
+  int chunks_emitted_ = 0;
+  int concept_epoch_ = -1;
+  std::uint64_t concept_seed_ = 0;
+  std::vector<Subspace> relevant_;
+  std::int64_t next_start_id_ = 0;
+  std::unique_ptr<SyntheticDataset> epoch_;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_STREAM_DRIFTING_STREAM_H_

@@ -1,0 +1,44 @@
+#include "stream/sliding_window.h"
+
+#include "common/check.h"
+
+namespace subex {
+
+SlidingWindow::SlidingWindow(std::size_t capacity, std::size_t num_features)
+    : capacity_(capacity), num_features_(num_features) {
+  SUBEX_CHECK(capacity >= 2);
+  SUBEX_CHECK(num_features >= 1);
+}
+
+std::int64_t SlidingWindow::Push(std::span<const double> row) {
+  SUBEX_CHECK_MSG(row.size() == num_features_, "stream width mismatch");
+  if (rows_.size() == capacity_) rows_.pop_front();
+  rows_.emplace_back(row.begin(), row.end());
+  return next_id_++;
+}
+
+std::int64_t SlidingWindow::StreamId(std::size_t index) const {
+  SUBEX_CHECK(index < rows_.size());
+  return next_id_ - static_cast<std::int64_t>(rows_.size()) +
+         static_cast<std::int64_t>(index);
+}
+
+int SlidingWindow::WindowIndex(std::int64_t id) const {
+  const std::int64_t oldest =
+      next_id_ - static_cast<std::int64_t>(rows_.size());
+  if (id < oldest || id >= next_id_) return -1;
+  return static_cast<int>(id - oldest);
+}
+
+Dataset SlidingWindow::Snapshot() const {
+  SUBEX_CHECK_MSG(!rows_.empty(), "empty window");
+  Matrix m(rows_.size(), num_features_);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      m(r, f) = rows_[r][f];
+    }
+  }
+  return Dataset(std::move(m));
+}
+
+}  // namespace subex

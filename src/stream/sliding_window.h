@@ -1,0 +1,55 @@
+#ifndef SUBEX_STREAM_SLIDING_WINDOW_H_
+#define SUBEX_STREAM_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace subex {
+
+/// Fixed-capacity sliding window over a point stream.
+///
+/// The substrate for the stream-processing extension the paper's §6 calls
+/// for: detectors and explainers stay batch algorithms, and the window
+/// materializes the "current batch" they run on. Points carry stable
+/// stream ids so window-relative results can be mapped back to the stream.
+class SlidingWindow {
+ public:
+  /// `capacity`: maximum points retained; `num_features`: stream width.
+  SlidingWindow(std::size_t capacity, std::size_t num_features);
+
+  /// Appends one point (length must equal `num_features`), evicting the
+  /// oldest point when full. Returns the point's stream id.
+  std::int64_t Push(std::span<const double> row);
+
+  /// Number of points currently held.
+  std::size_t size() const { return rows_.size(); }
+  /// True when the window has evicted at least one point.
+  bool saturated() const { return next_id_ > static_cast<std::int64_t>(capacity_); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t num_features() const { return num_features_; }
+
+  /// Stream id of the window row `index` (0 = oldest retained).
+  std::int64_t StreamId(std::size_t index) const;
+
+  /// Window-row index of stream id `id`, or -1 if it was evicted / never
+  /// pushed.
+  int WindowIndex(std::int64_t id) const;
+
+  /// Materializes the window as a Dataset (rows ordered oldest-first,
+  /// no points of interest set). O(size * num_features) copy.
+  Dataset Snapshot() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t num_features_;
+  std::deque<std::vector<double>> rows_;
+  std::int64_t next_id_ = 0;  // Id of the next pushed point.
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_STREAM_SLIDING_WINDOW_H_

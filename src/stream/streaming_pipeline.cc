@@ -1,0 +1,60 @@
+#include "stream/streaming_pipeline.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "core/metrics.h"
+
+namespace subex {
+
+std::vector<StreamingChunkResult> RunStreamingSummarization(
+    DriftingStreamGenerator& stream, const Detector& detector,
+    const Summarizer& summarizer, int num_chunks, int explanation_dim) {
+  SUBEX_CHECK(num_chunks >= 1);
+  SUBEX_CHECK(explanation_dim >= 2);
+
+  std::vector<StreamingChunkResult> results;
+  results.reserve(num_chunks);
+  RankedSubspaces stale_summary;
+  bool have_stale = false;
+
+  for (int c = 0; c < num_chunks; ++c) {
+    const StreamChunk chunk = stream.Next();
+    StreamingChunkResult result;
+    result.chunk_index = c;
+    result.concept_epoch = chunk.concept_epoch;
+
+    const Dataset data(chunk.points, chunk.outlier_indices);
+    const GroundTruth at_dim =
+        chunk.ground_truth.FilterByDimension(explanation_dim);
+    const std::vector<int> points =
+        chunk.ground_truth.PointsExplainedAtDimension(explanation_dim);
+    result.num_points = static_cast<int>(points.size());
+
+    if (!chunk.outlier_indices.empty()) {
+      const auto start = std::chrono::steady_clock::now();
+      const RankedSubspaces fresh = summarizer.Summarize(
+          data, detector, chunk.outlier_indices, explanation_dim);
+      result.seconds_recompute =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (!have_stale) {
+        stale_summary = fresh;
+        have_stale = true;
+      }
+      ExplanationScorer fresh_scorer;
+      ExplanationScorer stale_scorer;
+      for (int p : points) {
+        fresh_scorer.AddPoint(fresh.subspaces, at_dim.RelevantFor(p));
+        stale_scorer.AddPoint(stale_summary.subspaces, at_dim.RelevantFor(p));
+      }
+      result.map_recomputed = fresh_scorer.MeanAveragePrecision();
+      result.map_stale = stale_scorer.MeanAveragePrecision();
+    }
+    results.push_back(result);
+  }
+  return results;
+}
+
+}  // namespace subex

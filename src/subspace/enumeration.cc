@@ -1,0 +1,67 @@
+#include "subspace/enumeration.h"
+
+#include <limits>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace subex {
+
+std::uint64_t CombinationCount(int n, int k) {
+  if (k < 0 || n < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    const std::uint64_t num = static_cast<std::uint64_t>(n - k + i);
+    if (result > kMax / num) return kMax;  // Saturate.
+    result = result * num / static_cast<std::uint64_t>(i);
+  }
+  return result;
+}
+
+std::vector<Subspace> EnumerateSubspaces(int num_features, int dim) {
+  SUBEX_CHECK(dim >= 0 && num_features >= 0);
+  std::vector<Subspace> out;
+  if (dim > num_features) return out;
+  out.reserve(CombinationCount(num_features, dim));
+  std::vector<FeatureId> current(dim);
+  for (int i = 0; i < dim; ++i) current[i] = i;
+  for (;;) {
+    out.emplace_back(current);
+    // Advance to the next lexicographic combination.
+    int i = dim - 1;
+    while (i >= 0 && current[i] == num_features - dim + i) --i;
+    if (i < 0) break;
+    ++current[i];
+    for (int j = i + 1; j < dim; ++j) current[j] = current[j - 1] + 1;
+  }
+  return out;
+}
+
+std::vector<Subspace> SampleRandomSubspaces(int num_features, int dim,
+                                            int count, Rng& rng) {
+  SUBEX_CHECK(dim >= 1 && dim <= num_features);
+  std::vector<Subspace> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    out.emplace_back(rng.SampleWithoutReplacement(num_features, dim));
+  }
+  return out;
+}
+
+std::vector<Subspace> ExtendByOneFeature(const std::vector<Subspace>& bases,
+                                         int num_features) {
+  std::unordered_set<Subspace, SubspaceHash> seen;
+  std::vector<Subspace> out;
+  for (const Subspace& base : bases) {
+    for (FeatureId f = 0; f < num_features; ++f) {
+      if (base.Contains(f)) continue;
+      Subspace extended = base.With(f);
+      if (seen.insert(extended).second) out.push_back(std::move(extended));
+    }
+  }
+  return out;
+}
+
+}  // namespace subex

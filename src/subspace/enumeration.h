@@ -1,0 +1,39 @@
+#ifndef SUBEX_SUBSPACE_ENUMERATION_H_
+#define SUBEX_SUBSPACE_ENUMERATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "subspace/subspace.h"
+
+namespace subex {
+
+/// Number of k-combinations of n features, saturating at
+/// `std::numeric_limits<std::uint64_t>::max()` instead of overflowing.
+/// Explainers use this to decide whether exhaustive enumeration is feasible.
+std::uint64_t CombinationCount(int n, int k);
+
+/// All subspaces of exactly `dim` features drawn from `num_features`
+/// features, in lexicographic order. `CombinationCount(num_features, dim)`
+/// must be small enough to materialize; callers guard with it.
+std::vector<Subspace> EnumerateSubspaces(int num_features, int dim);
+
+/// `count` subspaces of exactly `dim` features sampled uniformly at random
+/// (with replacement across draws, but each subspace has distinct features).
+/// This is RefOut's random projection pool and LookOut's fallback when
+/// exhaustive enumeration exceeds its candidate cap.
+std::vector<Subspace> SampleRandomSubspaces(int num_features, int dim,
+                                            int count, Rng& rng);
+
+/// Extends each base subspace with every feature in `[0, num_features)` it
+/// does not already contain, deduplicating the results. This is the
+/// stage-wise candidate construction shared by Beam, RefOut and HiCS: the
+/// (k+1)-dimensional candidates of stage k+1 are the stage-k survivors
+/// crossed with all single features.
+std::vector<Subspace> ExtendByOneFeature(const std::vector<Subspace>& bases,
+                                         int num_features);
+
+}  // namespace subex
+
+#endif  // SUBEX_SUBSPACE_ENUMERATION_H_

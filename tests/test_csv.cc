@@ -1,0 +1,128 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "data/generators.h"
+
+namespace subex {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return ::testing::TempDir() + "subex_csv_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, RoundTripPreservesDatasetAndLabels) {
+  const SyntheticDataset generated = GenerateFigure1Dataset(1, 50);
+  const std::string path = Path("roundtrip.csv");
+  std::string error;
+  ASSERT_TRUE(WriteCsv(path, generated.dataset, /*label_column=*/true, &error))
+      << error;
+
+  const CsvReadResult result = ReadCsv(path, /*label_column=*/true);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.dataset.num_points(), generated.dataset.num_points());
+  EXPECT_EQ(result.dataset.num_features(), generated.dataset.num_features());
+  EXPECT_EQ(result.dataset.outlier_indices(),
+            generated.dataset.outlier_indices());
+  for (std::size_t p = 0; p < generated.dataset.num_points(); ++p) {
+    for (std::size_t f = 0; f < generated.dataset.num_features(); ++f) {
+      EXPECT_DOUBLE_EQ(result.dataset.Value(p, f),
+                       generated.dataset.Value(p, f));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, ReadsHeaderlessNumericFile) {
+  const std::string path = Path("headerless.csv");
+  WriteFile(path, "1.5,2.5,0\n3.5,4.5,1\n");
+  const CsvReadResult result = ReadCsv(path);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.dataset.num_points(), 2u);
+  EXPECT_EQ(result.dataset.num_features(), 2u);
+  EXPECT_EQ(result.dataset.outlier_indices(), (std::vector<int>{1}));
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, SkipsHeaderRow) {
+  const std::string path = Path("header.csv");
+  WriteFile(path, "x,y,is_outlier\n1,2,0\n3,4,1\n");
+  const CsvReadResult result = ReadCsv(path);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.dataset.num_points(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, NoLabelColumnMode) {
+  const std::string path = Path("nolabel.csv");
+  WriteFile(path, "1,2\n3,4\n");
+  const CsvReadResult result = ReadCsv(path, /*label_column=*/false);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.dataset.num_features(), 2u);
+  EXPECT_TRUE(result.dataset.outlier_indices().empty());
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, IgnoresBlankLines) {
+  const std::string path = Path("blank.csv");
+  WriteFile(path, "1,2,0\n\n   \n3,4,1\n");
+  const CsvReadResult result = ReadCsv(path);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.dataset.num_points(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, MissingFileFails) {
+  const CsvReadResult result = ReadCsv(Path("does_not_exist.csv"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+}
+
+TEST_F(CsvTest, NonNumericDataRowFailsWithLine) {
+  const std::string path = Path("bad.csv");
+  WriteFile(path, "1,2,0\nfoo,4,1\n");
+  const CsvReadResult result = ReadCsv(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find(":2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, RaggedRowFails) {
+  const std::string path = Path("ragged.csv");
+  WriteFile(path, "1,2,0\n3,4,5,1\n");
+  const CsvReadResult result = ReadCsv(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("inconsistent"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, EmptyFileFails) {
+  const std::string path = Path("empty.csv");
+  WriteFile(path, "");
+  const CsvReadResult result = ReadCsv(path);
+  EXPECT_FALSE(result.ok);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, LabelModeNeedsAtLeastTwoColumns) {
+  const std::string path = Path("onecol.csv");
+  WriteFile(path, "1\n2\n");
+  const CsvReadResult result = ReadCsv(path);
+  EXPECT_FALSE(result.ok);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,107 @@
+#include "detect/detector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "stats/descriptive.h"
+
+namespace subex {
+namespace {
+
+// Shared cross-detector property tests, parameterized over the three
+// detector families of the testbed.
+class DetectorPropertyTest : public ::testing::TestWithParam<DetectorKind> {
+ protected:
+  // A dataset with a dense blob and 5% gross outliers, *scattered* in
+  // random directions so they do not form a micro-cluster (which would be
+  // invisible to small-k neighborhood detectors like Fast ABOD).
+  static Dataset MakeContaminated(int n, std::uint64_t seed) {
+    Rng rng(seed);
+    Matrix m(n, 3);
+    std::vector<int> outliers;
+    for (int p = 0; p < n; ++p) {
+      const bool is_outlier = p >= n - n / 20;
+      for (int f = 0; f < 3; ++f) {
+        if (is_outlier) {
+          const double sign = rng.Uniform() < 0.5 ? -1.0 : 1.0;
+          m(p, f) = 0.35 + sign * rng.Uniform(0.3, 0.5);
+        } else {
+          m(p, f) = rng.Gaussian(0.35, 0.06);
+        }
+      }
+      if (is_outlier) outliers.push_back(p);
+    }
+    return Dataset(std::move(m), std::move(outliers));
+  }
+};
+
+TEST_P(DetectorPropertyTest, FactoryProducesWorkingDetector) {
+  const auto detector = MakeDetector(GetParam());
+  ASSERT_NE(detector, nullptr);
+  EXPECT_EQ(detector->name(), DetectorKindName(GetParam()));
+}
+
+TEST_P(DetectorPropertyTest, SeparatesGrossOutliers) {
+  const auto detector = MakeDetector(GetParam());
+  const Dataset d = MakeContaminated(300, 21);
+  const std::vector<double> scores = detector->Score(d, Subspace());
+  std::vector<bool> labels(d.num_points(), false);
+  for (int p : d.outlier_indices()) labels[p] = true;
+  EXPECT_GT(RocAuc(scores, labels), 0.95)
+      << "detector " << detector->name();
+}
+
+TEST_P(DetectorPropertyTest, OneScorePerPointAllFinite) {
+  const auto detector = MakeDetector(GetParam());
+  const Dataset d = MakeContaminated(120, 22);
+  const std::vector<double> scores = detector->Score(d, Subspace({0, 2}));
+  ASSERT_EQ(scores.size(), d.num_points());
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST_P(DetectorPropertyTest, ScoreIsPure) {
+  const auto detector = MakeDetector(GetParam());
+  const Dataset d = MakeContaminated(100, 23);
+  EXPECT_EQ(detector->Score(d, Subspace({0, 1})),
+            detector->Score(d, Subspace({0, 1})));
+}
+
+TEST_P(DetectorPropertyTest, StandardizedScoresAreZeroMeanUnitVariance) {
+  const auto detector = MakeDetector(GetParam());
+  const Dataset d = MakeContaminated(150, 24);
+  const std::vector<double> z = ScoreStandardized(*detector, d, Subspace());
+  EXPECT_NEAR(Mean(z), 0.0, 1e-9);
+  EXPECT_NEAR(PopulationVariance(z), 1.0, 1e-9);
+}
+
+TEST_P(DetectorPropertyTest, StandardizedOutlierScoresPositive) {
+  const auto detector = MakeDetector(GetParam());
+  const Dataset d = MakeContaminated(300, 25);
+  const std::vector<double> z = ScoreStandardized(*detector, d, Subspace());
+  for (int p : d.outlier_indices()) {
+    EXPECT_GT(z[p], 1.0) << "detector " << detector->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDetectors, DetectorPropertyTest,
+    ::testing::ValuesIn(AllDetectorKinds()),
+    [](const ::testing::TestParamInfo<DetectorKind>& info) {
+      return DetectorKindName(info.param);
+    });
+
+TEST(DetectorFactoryTest, AllKindsListed) {
+  EXPECT_EQ(AllDetectorKinds().size(), 3u);
+}
+
+TEST(DetectorFactoryTest, KindNames) {
+  EXPECT_STREQ(DetectorKindName(DetectorKind::kLof), "LOF");
+  EXPECT_STREQ(DetectorKindName(DetectorKind::kFastAbod), "FastABOD");
+  EXPECT_STREQ(DetectorKindName(DetectorKind::kIsolationForest), "iForest");
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,129 @@
+#include "explain/dimension_refinement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/generators.h"
+#include "detect/lof.h"
+#include "explain/beam.h"
+
+namespace subex {
+namespace {
+
+SyntheticDataset MakeData() {
+  HicsGeneratorConfig config;
+  config.num_points = 300;
+  config.subspace_dims = {3, 2, 2};
+  config.seed = 71;
+  return GenerateHicsDataset(config);
+}
+
+// A planted outlier's relevant subspace has high dimensional gain (its
+// projections are masked); the same subspace padded with junk instead of
+// one of its own features has low gain.
+TEST(DimensionalGainTest, RelevantSubspaceBeatsAugmentation) {
+  const SyntheticDataset d = MakeData();
+  const Lof lof(15);
+  const Subspace* planted = nullptr;
+  for (const Subspace& s : d.relevant_subspaces) {
+    if (s.size() == 3) planted = &s;
+  }
+  ASSERT_NE(planted, nullptr);
+  for (int p : d.dataset.outlier_indices()) {
+    const auto& rel = d.ground_truth.RelevantFor(p);
+    if (std::find(rel.begin(), rel.end(), *planted) == rel.end()) continue;
+    const double gain_true = DimensionalGain(d.dataset, lof, p, *planted);
+    // Augmentation: drop one planted feature, add a foreign one.
+    FeatureId foreign = 0;
+    while (planted->Contains(foreign)) ++foreign;
+    std::vector<FeatureId> padded(planted->features().begin(),
+                                  planted->features().end() - 1);
+    padded.push_back(foreign);
+    const double gain_padded =
+        DimensionalGain(d.dataset, lof, p, Subspace(padded));
+    EXPECT_GT(gain_true, 3.0) << "point " << p;
+    EXPECT_GT(gain_true, gain_padded + 1.0) << "point " << p;
+  }
+}
+
+TEST(DimensionalGainTest, InlierHasSmallGain) {
+  const SyntheticDataset d = MakeData();
+  const Lof lof(15);
+  int inlier = 0;
+  while (d.dataset.IsOutlier(inlier)) ++inlier;
+  const double gain =
+      DimensionalGain(d.dataset, lof, inlier, d.relevant_subspaces.front());
+  EXPECT_LT(gain, 2.0);
+}
+
+TEST(RefineTest, PromotesTrueSubspaceInBeamOutput) {
+  const SyntheticDataset d = MakeData();
+  const Lof lof(15);
+  Beam::Options options;
+  options.beam_width = 15;
+  const Beam beam(options);
+
+  int improved = 0;
+  int evaluated = 0;
+  for (int p : d.dataset.outlier_indices()) {
+    for (const Subspace& rel : d.ground_truth.RelevantFor(p)) {
+      if (rel.size() != 3) continue;
+      const RankedSubspaces raw = beam.Explain(d.dataset, lof, p, 3);
+      const auto raw_it =
+          std::find(raw.subspaces.begin(), raw.subspaces.end(), rel);
+      if (raw_it == raw.subspaces.end()) continue;  // Beam missed entirely.
+      const RankedSubspaces refined =
+          RefineByDimensionalGain(d.dataset, lof, p, raw);
+      const auto refined_it = std::find(refined.subspaces.begin(),
+                                        refined.subspaces.end(), rel);
+      ASSERT_NE(refined_it, refined.subspaces.end());
+      ++evaluated;
+      const auto raw_rank = raw_it - raw.subspaces.begin();
+      const auto refined_rank = refined_it - refined.subspaces.begin();
+      if (refined_rank <= raw_rank) ++improved;
+      EXPECT_LT(refined_rank, 3) << "point " << p;
+    }
+  }
+  ASSERT_GT(evaluated, 0);
+  EXPECT_EQ(improved, evaluated);  // Never demotes the true subspace.
+}
+
+TEST(RefineTest, PreservesCandidateSet) {
+  const SyntheticDataset d = MakeData();
+  const Lof lof(15);
+  const Beam beam;
+  const int p = d.dataset.outlier_indices().front();
+  const RankedSubspaces raw = beam.Explain(d.dataset, lof, p, 2);
+  const RankedSubspaces refined =
+      RefineByDimensionalGain(d.dataset, lof, p, raw);
+  EXPECT_EQ(refined.size(), raw.size());
+  std::vector<Subspace> a = raw.subspaces;
+  std::vector<Subspace> b = refined.subspaces;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RefineTest, TailKeptBelowRefinedHead) {
+  const SyntheticDataset d = MakeData();
+  const Lof lof(15);
+  const Beam beam;
+  const int p = d.dataset.outlier_indices().front();
+  const RankedSubspaces raw = beam.Explain(d.dataset, lof, p, 2);
+  DimensionRefinementOptions options;
+  options.max_candidates = 2;
+  const RankedSubspaces refined =
+      RefineByDimensionalGain(d.dataset, lof, p, raw, options);
+  ASSERT_EQ(refined.size(), raw.size());
+  for (std::size_t i = 1; i < refined.scores.size(); ++i) {
+    EXPECT_GE(refined.scores[i - 1], refined.scores[i]);
+  }
+  // Tail order preserved.
+  for (std::size_t i = 2; i < raw.size(); ++i) {
+    EXPECT_EQ(refined.subspaces[i], raw.subspaces[i]);
+  }
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,122 @@
+#include "subspace/enumeration.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/rng.h"
+
+namespace subex {
+namespace {
+
+TEST(CombinationCountTest, SmallValues) {
+  EXPECT_EQ(CombinationCount(5, 2), 10u);
+  EXPECT_EQ(CombinationCount(6, 3), 20u);
+  EXPECT_EQ(CombinationCount(39, 2), 741u);
+  EXPECT_EQ(CombinationCount(70, 5), 12103014u);
+}
+
+TEST(CombinationCountTest, Edges) {
+  EXPECT_EQ(CombinationCount(5, 0), 1u);
+  EXPECT_EQ(CombinationCount(5, 5), 1u);
+  EXPECT_EQ(CombinationCount(5, 6), 0u);
+  EXPECT_EQ(CombinationCount(0, 0), 1u);
+  EXPECT_EQ(CombinationCount(5, -1), 0u);
+}
+
+TEST(CombinationCountTest, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(CombinationCount(1000, 500),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(EnumerateTest, AllPairsOfFour) {
+  const std::vector<Subspace> subspaces = EnumerateSubspaces(4, 2);
+  ASSERT_EQ(subspaces.size(), 6u);
+  EXPECT_EQ(subspaces.front(), Subspace({0, 1}));
+  EXPECT_EQ(subspaces.back(), Subspace({2, 3}));
+  // Distinct & each of size 2.
+  const std::set<Subspace> unique(subspaces.begin(), subspaces.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (const Subspace& s : subspaces) EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(EnumerateTest, CountMatchesFormulaAcrossDims) {
+  for (int n : {5, 8, 10}) {
+    for (int k = 1; k <= n; ++k) {
+      EXPECT_EQ(EnumerateSubspaces(n, k).size(), CombinationCount(n, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(EnumerateTest, DimLargerThanFeaturesEmpty) {
+  EXPECT_TRUE(EnumerateSubspaces(3, 4).empty());
+}
+
+TEST(EnumerateTest, LexicographicOrder) {
+  const std::vector<Subspace> subspaces = EnumerateSubspaces(5, 3);
+  EXPECT_TRUE(std::is_sorted(subspaces.begin(), subspaces.end()));
+}
+
+TEST(SampleRandomTest, ShapeAndRange) {
+  Rng rng(3);
+  const std::vector<Subspace> pool = SampleRandomSubspaces(20, 14, 50, rng);
+  ASSERT_EQ(pool.size(), 50u);
+  for (const Subspace& s : pool) {
+    EXPECT_EQ(s.size(), 14u);
+    EXPECT_GE(s.features().front(), 0);
+    EXPECT_LT(s.features().back(), 20);
+  }
+}
+
+TEST(SampleRandomTest, CoversAllFeaturesEventually) {
+  Rng rng(5);
+  const std::vector<Subspace> pool = SampleRandomSubspaces(10, 7, 40, rng);
+  std::set<FeatureId> seen;
+  for (const Subspace& s : pool) {
+    seen.insert(s.features().begin(), s.features().end());
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(SampleRandomTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(SampleRandomSubspaces(15, 10, 20, a),
+            SampleRandomSubspaces(15, 10, 20, b));
+}
+
+TEST(ExtendTest, ExtendsByEveryAbsentFeature) {
+  const std::vector<Subspace> bases = {Subspace({0, 1})};
+  const std::vector<Subspace> extended = ExtendByOneFeature(bases, 4);
+  EXPECT_EQ(extended.size(), 2u);
+  EXPECT_NE(std::find(extended.begin(), extended.end(), Subspace({0, 1, 2})),
+            extended.end());
+  EXPECT_NE(std::find(extended.begin(), extended.end(), Subspace({0, 1, 3})),
+            extended.end());
+}
+
+TEST(ExtendTest, DeduplicatesAcrossBases) {
+  const std::vector<Subspace> bases = {Subspace({0, 1}), Subspace({0, 2})};
+  const std::vector<Subspace> extended = ExtendByOneFeature(bases, 3);
+  // {0,1}+2 and {0,2}+1 both give {0,1,2}.
+  EXPECT_EQ(extended.size(), 1u);
+  EXPECT_EQ(extended.front(), Subspace({0, 1, 2}));
+}
+
+TEST(ExtendTest, EmptyBasesGiveSingletons) {
+  const std::vector<Subspace> bases = {Subspace()};
+  const std::vector<Subspace> extended = ExtendByOneFeature(bases, 3);
+  EXPECT_EQ(extended.size(), 3u);
+  for (const Subspace& s : extended) EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(ExtendTest, FullBaseYieldsNothing) {
+  const std::vector<Subspace> bases = {Subspace({0, 1, 2})};
+  EXPECT_TRUE(ExtendByOneFeature(bases, 3).empty());
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,63 @@
+#include "explain/explanation.h"
+
+#include <gtest/gtest.h>
+
+namespace subex {
+namespace {
+
+TEST(RankedSubspacesTest, AddAppends) {
+  RankedSubspaces r;
+  EXPECT_TRUE(r.empty());
+  r.Add(Subspace({0, 1}), 2.0);
+  r.Add(Subspace({1, 2}), 1.0);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.subspaces[0], Subspace({0, 1}));
+  EXPECT_EQ(r.scores[1], 1.0);
+}
+
+TEST(RankedSubspacesTest, SortDescending) {
+  RankedSubspaces r;
+  r.Add(Subspace({0}), 1.0);
+  r.Add(Subspace({1}), 3.0);
+  r.Add(Subspace({2}), 2.0);
+  r.SortDescendingAndTruncate(10);
+  EXPECT_EQ(r.subspaces[0], Subspace({1}));
+  EXPECT_EQ(r.subspaces[1], Subspace({2}));
+  EXPECT_EQ(r.subspaces[2], Subspace({0}));
+  EXPECT_EQ(r.scores[0], 3.0);
+}
+
+TEST(RankedSubspacesTest, Truncates) {
+  RankedSubspaces r;
+  for (int i = 0; i < 5; ++i) r.Add(Subspace({i}), i);
+  r.SortDescendingAndTruncate(2);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.subspaces[0], Subspace({4}));
+  EXPECT_EQ(r.subspaces[1], Subspace({3}));
+}
+
+TEST(RankedSubspacesTest, StableOnTies) {
+  RankedSubspaces r;
+  r.Add(Subspace({0}), 1.0);
+  r.Add(Subspace({1}), 1.0);
+  r.Add(Subspace({2}), 1.0);
+  r.SortDescendingAndTruncate(3);
+  EXPECT_EQ(r.subspaces[0], Subspace({0}));  // Insertion order preserved.
+  EXPECT_EQ(r.subspaces[2], Subspace({2}));
+}
+
+TEST(RankedSubspacesTest, TruncateEmptyIsNoop) {
+  RankedSubspaces r;
+  r.SortDescendingAndTruncate(5);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RankedSubspacesTest, TruncateToZeroClears) {
+  RankedSubspaces r;
+  r.Add(Subspace({0}), 1.0);
+  r.SortDescendingAndTruncate(0);
+  EXPECT_TRUE(r.empty());
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,109 @@
+#include "detect/fast_abod.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/topk.h"
+
+namespace subex {
+namespace {
+
+Dataset BlobWithBorderOutlier(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, 2);
+  for (int p = 0; p < n - 1; ++p) {
+    m(p, 0) = rng.Gaussian(0.0, 0.2);
+    m(p, 1) = rng.Gaussian(0.0, 0.2);
+  }
+  // Far outside: all neighbors lie in a narrow angular cone.
+  m(n - 1, 0) = 4.0;
+  m(n - 1, 1) = 4.0;
+  return Dataset(std::move(m), {n - 1});
+}
+
+TEST(FastAbodTest, OutlierGetsHighestScore) {
+  const Dataset d = BlobWithBorderOutlier(100, 1);
+  const FastAbod abod(10);
+  const std::vector<double> scores = abod.Score(d, Subspace());
+  EXPECT_EQ(TopKIndices(scores, 1).front(), 99);
+}
+
+TEST(FastAbodTest, BorderPointScoresAboveCentralPoint) {
+  // Angle variance is high for points surrounded in many directions
+  // (blob center) and low for border points whose neighbors all lie in a
+  // narrow cone -- so the border point must outscore the central one.
+  Rng rng(7);
+  const int n = 120;
+  Matrix m(n + 2, 2);
+  for (int p = 0; p < n; ++p) {
+    m(p, 0) = rng.Gaussian(0.0, 0.3);
+    m(p, 1) = rng.Gaussian(0.0, 0.3);
+  }
+  m(n, 0) = 0.0;  // Central point.
+  m(n, 1) = 0.0;
+  m(n + 1, 0) = 1.5;  // Border point, ~5 sigma out.
+  m(n + 1, 1) = 1.5;
+  const Dataset d(std::move(m));
+  const FastAbod abod(10);
+  const std::vector<double> scores = abod.Score(d, Subspace());
+  EXPECT_GT(scores[n + 1], scores[n]);
+  EXPECT_EQ(TopKIndices(scores, 1).front(), n + 1);
+}
+
+TEST(FastAbodTest, AllScoresFinite) {
+  const Dataset d = BlobWithBorderOutlier(80, 2);
+  const FastAbod abod(10);
+  for (double s : abod.Score(d, Subspace())) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(FastAbodTest, DuplicatePointsHandled) {
+  Matrix m(30, 2);
+  Rng rng(3);
+  for (int p = 0; p < 28; ++p) {
+    m(p, 0) = (p % 2 == 0) ? 1.0 : 2.0;  // Many coincident points.
+    m(p, 1) = (p % 2 == 0) ? 1.0 : 2.0;
+  }
+  m(28, 0) = 1.5;
+  m(28, 1) = 1.5;
+  m(29, 0) = 9.0;
+  m(29, 1) = 9.0;
+  const Dataset d(std::move(m));
+  const FastAbod abod(10);
+  const std::vector<double> scores = abod.Score(d, Subspace());
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(FastAbodTest, SubspaceRestriction) {
+  Rng rng(4);
+  Matrix m(90, 3);
+  for (int p = 0; p < 90; ++p) {
+    m(p, 0) = rng.Gaussian(0.0, 0.2);
+    m(p, 1) = rng.Gaussian(0.0, 0.2);
+    m(p, 2) = rng.Uniform();
+  }
+  m(89, 0) = 4.0;
+  m(89, 1) = 4.0;
+  const Dataset d(std::move(m));
+  const FastAbod abod(10);
+  const std::vector<double> in_sub = abod.Score(d, Subspace({0, 1}));
+  EXPECT_EQ(TopKIndices(in_sub, 1).front(), 89);
+  const std::vector<double> decoy = abod.Score(d, Subspace({2}));
+  EXPECT_NE(TopKIndices(decoy, 1).front(), 89);
+}
+
+TEST(FastAbodTest, Deterministic) {
+  const Dataset d = BlobWithBorderOutlier(60, 5);
+  const FastAbod abod(10);
+  EXPECT_EQ(abod.Score(d, Subspace()), abod.Score(d, Subspace()));
+}
+
+TEST(FastAbodTest, NameAndK) {
+  const FastAbod abod(12);
+  EXPECT_EQ(abod.name(), "FastABOD");
+  EXPECT_EQ(abod.k(), 12);
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,137 @@
+// Property sweeps over the HiCS-style generator: the §3.2 structural
+// invariants must hold for every subspace-dimension mix and seed, not just
+// the configurations the behavioural tests use.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "data/generators.h"
+
+namespace subex {
+namespace {
+
+using Config = std::tuple<std::vector<int>, std::uint64_t>;
+
+class HicsGeneratorPropertyTest : public ::testing::TestWithParam<Config> {
+ protected:
+  SyntheticDataset Generate() const {
+    HicsGeneratorConfig config;
+    config.num_points = 240;
+    config.subspace_dims = std::get<0>(GetParam());
+    config.seed = std::get<1>(GetParam());
+    return GenerateHicsDataset(config);
+  }
+};
+
+TEST_P(HicsGeneratorPropertyTest, FeaturePartition) {
+  const SyntheticDataset d = Generate();
+  std::set<FeatureId> covered;
+  std::size_t total = 0;
+  for (const Subspace& s : d.relevant_subspaces) {
+    total += s.size();
+    covered.insert(s.features().begin(), s.features().end());
+  }
+  EXPECT_EQ(covered.size(), total);  // Disjoint.
+  EXPECT_EQ(covered.size(), d.dataset.num_features());  // Exhaustive.
+}
+
+TEST_P(HicsGeneratorPropertyTest, OutlierCountMatchesSlots) {
+  const SyntheticDataset d = Generate();
+  EXPECT_EQ(d.dataset.outlier_indices().size(),
+            5 * d.relevant_subspaces.size());
+}
+
+TEST_P(HicsGeneratorPropertyTest, ValuesInUnitInterval) {
+  const SyntheticDataset d = Generate();
+  for (std::size_t p = 0; p < d.dataset.num_points(); ++p) {
+    for (std::size_t f = 0; f < d.dataset.num_features(); ++f) {
+      EXPECT_GE(d.dataset.Value(p, f), 0.0);
+      EXPECT_LE(d.dataset.Value(p, f), 1.0);
+    }
+  }
+}
+
+// The marginal-population property: every coordinate of a planted outlier
+// lies inside the inlier range of that feature (no 1d-visible outliers).
+TEST_P(HicsGeneratorPropertyTest, OutlierMarginalsPopulated) {
+  const SyntheticDataset d = Generate();
+  for (std::size_t f = 0; f < d.dataset.num_features(); ++f) {
+    double lo = 1e9;
+    double hi = -1e9;
+    for (std::size_t p = 0; p < d.dataset.num_points(); ++p) {
+      if (d.dataset.IsOutlier(static_cast<int>(p))) continue;
+      lo = std::min(lo, d.dataset.Value(p, f));
+      hi = std::max(hi, d.dataset.Value(p, f));
+    }
+    for (int p : d.dataset.outlier_indices()) {
+      EXPECT_GE(d.dataset.Value(p, f), lo - 0.1);
+      EXPECT_LE(d.dataset.Value(p, f), hi + 0.1);
+    }
+  }
+}
+
+// The parity property behind projection masking: dropping any one feature
+// of the relevant subspace, the outlier is close to some inlier in the
+// remaining coordinates.
+TEST_P(HicsGeneratorPropertyTest, ProjectionsNearPopulatedAtoms) {
+  const SyntheticDataset d = Generate();
+  for (int p : d.dataset.outlier_indices()) {
+    for (const Subspace& s : d.ground_truth.RelevantFor(p)) {
+      for (FeatureId dropped : s.features()) {
+        double best = 1e18;
+        for (std::size_t q = 0; q < d.dataset.num_points(); ++q) {
+          if (d.dataset.IsOutlier(static_cast<int>(q))) continue;
+          double dist_sq = 0.0;
+          for (FeatureId f : s.features()) {
+            if (f == dropped) continue;
+            const double delta = d.dataset.Value(p, f) -
+                                 d.dataset.Value(q, f);
+            dist_sq += delta * delta;
+          }
+          best = std::min(best, dist_sq);
+        }
+        // Within a few noise standard deviations of a populated atom.
+        EXPECT_LT(std::sqrt(best), 0.25)
+            << "outlier " << p << " exposed when dropping f" << dropped
+            << " from " << s.ToString();
+      }
+    }
+  }
+}
+
+// Joint-emptiness: within its full relevant subspace the outlier is far
+// from every inlier.
+TEST_P(HicsGeneratorPropertyTest, JointlyIsolated) {
+  const SyntheticDataset d = Generate();
+  for (int p : d.dataset.outlier_indices()) {
+    for (const Subspace& s : d.ground_truth.RelevantFor(p)) {
+      double best = 1e18;
+      for (std::size_t q = 0; q < d.dataset.num_points(); ++q) {
+        if (d.dataset.IsOutlier(static_cast<int>(q))) continue;
+        double dist_sq = 0.0;
+        for (FeatureId f : s.features()) {
+          const double delta =
+              d.dataset.Value(p, f) - d.dataset.Value(static_cast<int>(q), f);
+          dist_sq += delta * delta;
+        }
+        best = std::min(best, dist_sq);
+      }
+      EXPECT_GT(std::sqrt(best), 0.2)
+          << "outlier " << p << " not isolated in " << s.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimensionMixes, HicsGeneratorPropertyTest,
+    ::testing::Values(Config{{2, 2}, 1}, Config{{3, 3}, 2},
+                      Config{{4, 4}, 3}, Config{{5, 5}, 4},
+                      Config{{2, 3, 4, 5}, 5}, Config{{2, 5, 3}, 99},
+                      Config{{2, 2}, 17}, Config{{2, 3, 4, 5}, 1234}));
+
+}  // namespace
+}  // namespace subex

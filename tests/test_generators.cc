@@ -1,0 +1,248 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/topk.h"
+#include "detect/detector.h"
+#include "detect/lof.h"
+
+namespace subex {
+namespace {
+
+HicsGeneratorConfig SmallConfig() {
+  HicsGeneratorConfig config;
+  config.num_points = 300;
+  config.subspace_dims = {2, 3};
+  config.outliers_per_subspace = 5;
+  config.seed = 99;
+  return config;
+}
+
+TEST(HicsGeneratorTest, ShapeMatchesConfig) {
+  const SyntheticDataset d = GenerateHicsDataset(SmallConfig());
+  EXPECT_EQ(d.dataset.num_points(), 300u);
+  EXPECT_EQ(d.dataset.num_features(), 5u);
+  EXPECT_EQ(d.dataset.outlier_indices().size(), 10u);
+  EXPECT_EQ(d.relevant_subspaces.size(), 2u);
+  EXPECT_EQ(d.name, "hics_5d");
+}
+
+TEST(HicsGeneratorTest, SubspacesPartitionFeatureSpace) {
+  const SyntheticDataset d = GenerateHicsDataset(SmallConfig());
+  std::set<FeatureId> covered;
+  for (const Subspace& s : d.relevant_subspaces) {
+    for (FeatureId f : s.features()) {
+      EXPECT_TRUE(covered.insert(f).second) << "feature in two subspaces";
+    }
+  }
+  EXPECT_EQ(covered.size(), d.dataset.num_features());
+}
+
+TEST(HicsGeneratorTest, ValuesInUnitInterval) {
+  const SyntheticDataset d = GenerateHicsDataset(SmallConfig());
+  for (std::size_t p = 0; p < d.dataset.num_points(); ++p) {
+    for (std::size_t f = 0; f < d.dataset.num_features(); ++f) {
+      EXPECT_GE(d.dataset.Value(p, f), 0.0);
+      EXPECT_LE(d.dataset.Value(p, f), 1.0);
+    }
+  }
+}
+
+TEST(HicsGeneratorTest, GroundTruthCoversEveryOutlier) {
+  const SyntheticDataset d = GenerateHicsDataset(SmallConfig());
+  for (int p : d.dataset.outlier_indices()) {
+    EXPECT_FALSE(d.ground_truth.RelevantFor(p).empty());
+  }
+  EXPECT_EQ(d.ground_truth.ExplainedPoints(), d.dataset.outlier_indices());
+}
+
+TEST(HicsGeneratorTest, EachSubspaceExplainsExactlyFiveOutliers) {
+  const SyntheticDataset d = GenerateHicsDataset(SmallConfig());
+  EXPECT_NEAR(d.ground_truth.MeanOutliersPerSubspace(), 5.0, 1e-12);
+}
+
+TEST(HicsGeneratorTest, Deterministic) {
+  const SyntheticDataset a = GenerateHicsDataset(SmallConfig());
+  const SyntheticDataset b = GenerateHicsDataset(SmallConfig());
+  EXPECT_TRUE(a.dataset.matrix() == b.dataset.matrix());
+  EXPECT_EQ(a.dataset.outlier_indices(), b.dataset.outlier_indices());
+}
+
+TEST(HicsGeneratorTest, SharedOutliersReduceDistinctCount) {
+  HicsGeneratorConfig config = SmallConfig();
+  config.subspace_dims = {2, 3, 4};
+  config.num_shared_outliers = 2;
+  const SyntheticDataset d = GenerateHicsDataset(config);
+  // 3 * 5 slots - 2 shared = 13 distinct outliers.
+  EXPECT_EQ(d.dataset.outlier_indices().size(), 13u);
+  // The shared points carry two relevant subspaces each.
+  int with_two = 0;
+  for (int p : d.dataset.outlier_indices()) {
+    if (d.ground_truth.RelevantFor(p).size() == 2) ++with_two;
+  }
+  EXPECT_EQ(with_two, 2);
+}
+
+// The central structural property of the HiCS datasets (§3.2): planted
+// outliers score at the very top of LOF's ranking inside their relevant
+// subspace, but are masked (ordinary scores) in the projection that drops
+// the response feature.
+TEST(HicsGeneratorTest, OutliersVisibleJointlyMaskedInProjections) {
+  const SyntheticDataset d = GenerateHicsDataset(SmallConfig());
+  const Lof lof(15);
+  for (const Subspace& relevant : d.relevant_subspaces) {
+    if (relevant.size() < 3) continue;  // Projections need >= 3 dims.
+    const std::vector<double> joint =
+        ScoreStandardized(lof, d.dataset, relevant);
+    for (int p : d.dataset.outlier_indices()) {
+      const auto& rel = d.ground_truth.RelevantFor(p);
+      if (std::find(rel.begin(), rel.end(), relevant) == rel.end()) continue;
+      EXPECT_GT(joint[p], 3.0) << "outlier not visible in " +
+                                      relevant.ToString();
+      // Drop each single feature in turn: at least one (m-1)-projection
+      // must mask the outlier (the prefix-only projection is a copy of a
+      // donor inlier), i.e. score far below the joint score and below the
+      // "clearly outlying" band.
+      double min_projected = 1e9;
+      for (FeatureId f : relevant.features()) {
+        std::vector<FeatureId> reduced;
+        for (FeatureId g : relevant.features()) {
+          if (g != f) reduced.push_back(g);
+        }
+        const std::vector<double> projected =
+            ScoreStandardized(lof, d.dataset, Subspace(reduced));
+        min_projected = std::min(min_projected, projected[p]);
+      }
+      EXPECT_LT(min_projected, 3.0)
+          << "outlier of " + relevant.ToString() +
+                 " visible in every projection";
+      EXPECT_LT(min_projected, joint[p] - 1.5)
+          << "projection not substantially masked vs " +
+                 relevant.ToString();
+    }
+  }
+}
+
+TEST(HicsGeneratorTest, OutliersVisibleInAugmentedSubspaces) {
+  const SyntheticDataset d = GenerateHicsDataset(SmallConfig());
+  const Lof lof(15);
+  // Augment each relevant subspace with one foreign feature: the planted
+  // outliers must still stand out (§3.2 property iv).
+  for (const Subspace& relevant : d.relevant_subspaces) {
+    FeatureId extra = 0;
+    while (relevant.Contains(extra)) ++extra;
+    const Subspace augmented = relevant.With(extra);
+    const std::vector<double> scores =
+        ScoreStandardized(lof, d.dataset, augmented);
+    for (int p : d.dataset.outlier_indices()) {
+      const auto& rel = d.ground_truth.RelevantFor(p);
+      if (std::find(rel.begin(), rel.end(), relevant) == rel.end()) continue;
+      EXPECT_GT(scores[p], 2.0)
+          << "outlier lost in augmentation " + augmented.ToString();
+    }
+  }
+}
+
+TEST(PaperHicsSuiteTest, PublishedShapes) {
+  const std::vector<SyntheticDataset> suite = GeneratePaperHicsSuite(7, 1.0);
+  ASSERT_EQ(suite.size(), 5u);
+  const std::vector<std::size_t> dims = {14, 23, 39, 70, 100};
+  const std::vector<std::size_t> outliers = {20, 34, 59, 100, 143};
+  const std::vector<std::size_t> subspaces = {4, 7, 12, 22, 31};
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].dataset.num_features(), dims[i]);
+    EXPECT_EQ(suite[i].dataset.num_points(), 1000u);
+    EXPECT_EQ(suite[i].dataset.outlier_indices().size(), outliers[i]);
+    EXPECT_EQ(suite[i].relevant_subspaces.size(), subspaces[i]);
+  }
+}
+
+TEST(PaperHicsSuiteTest, ScaleShrinksPoints) {
+  const std::vector<SyntheticDataset> suite = GeneratePaperHicsSuite(7, 0.3);
+  EXPECT_EQ(suite[0].dataset.num_points(), 300u);
+}
+
+TEST(FullSpaceGeneratorTest, ShapeAndContamination) {
+  FullSpaceGeneratorConfig config;
+  config.num_points = 200;
+  config.num_features = 12;
+  config.num_outliers = 20;
+  config.seed = 3;
+  const SyntheticDataset d = GenerateFullSpaceDataset(config);
+  EXPECT_EQ(d.dataset.num_points(), 200u);
+  EXPECT_EQ(d.dataset.num_features(), 12u);
+  EXPECT_EQ(d.dataset.outlier_indices().size(), 20u);
+  EXPECT_TRUE(d.ground_truth.empty());  // Built downstream.
+}
+
+TEST(FullSpaceGeneratorTest, OutliersVisibleInFullSpaceAndProjections) {
+  FullSpaceGeneratorConfig config;
+  config.num_points = 200;
+  config.num_features = 10;
+  config.num_outliers = 20;
+  config.seed = 5;
+  const SyntheticDataset d = GenerateFullSpaceDataset(config);
+  const Lof lof(15);
+
+  // Full space: every outlier index must land in LOF's top-20.
+  const std::vector<double> full = lof.Score(d.dataset, Subspace());
+  const std::vector<int> top = TopKIndices(full, 20);
+  for (int p : d.dataset.outlier_indices()) {
+    EXPECT_NE(std::find(top.begin(), top.end(), p), top.end())
+        << "outlier " << p << " not in LOF top-20 in the full space";
+  }
+
+  // Projections: standardized scores stay clearly elevated in a 2d view.
+  const std::vector<double> projected =
+      ScoreStandardized(lof, d.dataset, Subspace({0, 1}));
+  int visible = 0;
+  for (int p : d.dataset.outlier_indices()) {
+    if (projected[p] > 1.0) ++visible;
+  }
+  EXPECT_GE(visible, 16);  // >= 80% of the outliers.
+}
+
+TEST(PaperRealSuiteTest, PublishedShapes) {
+  const std::vector<SyntheticDataset> suite = GeneratePaperRealSuite(7, 1.0);
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0].name, "breast_like");
+  EXPECT_EQ(suite[0].dataset.num_points(), 198u);
+  EXPECT_EQ(suite[0].dataset.num_features(), 31u);
+  EXPECT_EQ(suite[0].dataset.outlier_indices().size(), 20u);
+  EXPECT_EQ(suite[1].dataset.num_points(), 569u);
+  EXPECT_EQ(suite[1].dataset.num_features(), 30u);
+  EXPECT_EQ(suite[1].dataset.outlier_indices().size(), 57u);
+  EXPECT_EQ(suite[2].dataset.num_points(), 1205u);
+  EXPECT_EQ(suite[2].dataset.num_features(), 23u);
+  EXPECT_EQ(suite[2].dataset.outlier_indices().size(), 121u);
+}
+
+TEST(Figure1Test, GroundTruthAsDocumented) {
+  const SyntheticDataset d = GenerateFigure1Dataset(1, 200);
+  EXPECT_EQ(d.dataset.num_features(), 3u);
+  EXPECT_EQ(d.dataset.outlier_indices(), (std::vector<int>{0, 1}));
+  ASSERT_EQ(d.ground_truth.RelevantFor(0).size(), 1u);
+  EXPECT_EQ(d.ground_truth.RelevantFor(0).front(), Subspace({0, 1}));
+  EXPECT_EQ(d.ground_truth.RelevantFor(1).front(), Subspace({1, 2}));
+}
+
+TEST(Figure1Test, PlantedDeviationsMatchStory) {
+  const SyntheticDataset d = GenerateFigure1Dataset(1, 200);
+  const Lof lof(15);
+  const std::vector<double> s01 =
+      ScoreStandardized(lof, d.dataset, Subspace({0, 1}));
+  const std::vector<double> s12 =
+      ScoreStandardized(lof, d.dataset, Subspace({1, 2}));
+  // o1 deviates in {F0,F1}; o2 does not.
+  EXPECT_GT(s01[0], 3.0);
+  EXPECT_LT(s01[1], 2.0);
+  // o2 deviates in {F1,F2}.
+  EXPECT_GT(s12[1], 3.0);
+}
+
+}  // namespace
+}  // namespace subex

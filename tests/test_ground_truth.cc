@@ -1,0 +1,83 @@
+#include "data/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace subex {
+namespace {
+
+GroundTruth MakeSample() {
+  GroundTruth gt;
+  gt.Add(3, Subspace({0, 1}));
+  gt.Add(3, Subspace({2, 3, 4}));
+  gt.Add(7, Subspace({0, 1}));
+  gt.Add(9, Subspace({5, 6}));
+  return gt;
+}
+
+TEST(GroundTruthTest, EmptyByDefault) {
+  GroundTruth gt;
+  EXPECT_TRUE(gt.empty());
+  EXPECT_TRUE(gt.RelevantFor(0).empty());
+  EXPECT_TRUE(gt.ExplainedPoints().empty());
+}
+
+TEST(GroundTruthTest, AddAndQuery) {
+  const GroundTruth gt = MakeSample();
+  EXPECT_EQ(gt.RelevantFor(3).size(), 2u);
+  EXPECT_EQ(gt.RelevantFor(7).size(), 1u);
+  EXPECT_TRUE(gt.RelevantFor(4).empty());
+}
+
+TEST(GroundTruthTest, AddIgnoresDuplicates) {
+  GroundTruth gt;
+  gt.Add(1, Subspace({0, 1}));
+  gt.Add(1, Subspace({1, 0}));
+  EXPECT_EQ(gt.RelevantFor(1).size(), 1u);
+}
+
+TEST(GroundTruthTest, ExplainedPointsAscending) {
+  const GroundTruth gt = MakeSample();
+  EXPECT_EQ(gt.ExplainedPoints(), (std::vector<int>{3, 7, 9}));
+}
+
+TEST(GroundTruthTest, PointsExplainedAtDimension) {
+  const GroundTruth gt = MakeSample();
+  EXPECT_EQ(gt.PointsExplainedAtDimension(2), (std::vector<int>{3, 7, 9}));
+  EXPECT_EQ(gt.PointsExplainedAtDimension(3), (std::vector<int>{3}));
+  EXPECT_TRUE(gt.PointsExplainedAtDimension(4).empty());
+}
+
+TEST(GroundTruthTest, FilterByDimension) {
+  const GroundTruth filtered = MakeSample().FilterByDimension(2);
+  EXPECT_EQ(filtered.RelevantFor(3).size(), 1u);
+  EXPECT_EQ(filtered.RelevantFor(3).front(), Subspace({0, 1}));
+  EXPECT_EQ(filtered.ExplainedPoints(), (std::vector<int>{3, 7, 9}));
+}
+
+TEST(GroundTruthTest, AllRelevantSubspacesDeduped) {
+  const GroundTruth gt = MakeSample();
+  const std::vector<Subspace> all = gt.AllRelevantSubspaces();
+  EXPECT_EQ(all.size(), 3u);  // {0,1} shared by points 3 and 7.
+}
+
+TEST(GroundTruthTest, MeanOutliersPerSubspace) {
+  const GroundTruth gt = MakeSample();
+  // 4 (point, subspace) pairs over 3 distinct subspaces.
+  EXPECT_NEAR(gt.MeanOutliersPerSubspace(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(GroundTruthTest, MeanSubspacesPerPoint) {
+  const GroundTruth gt = MakeSample();
+  EXPECT_NEAR(gt.MeanSubspacesPerPoint(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(GroundTruthTest, StatisticsOnEmpty) {
+  GroundTruth gt;
+  EXPECT_EQ(gt.MeanOutliersPerSubspace(), 0.0);
+  EXPECT_EQ(gt.MeanSubspacesPerPoint(), 0.0);
+}
+
+}  // namespace
+}  // namespace subex

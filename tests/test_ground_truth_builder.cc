@@ -1,0 +1,88 @@
+#include "core/ground_truth_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/generators.h"
+#include "detect/lof.h"
+
+namespace subex {
+namespace {
+
+TEST(GroundTruthBuilderTest, FindsThePlantedSubspaceOfFigure1) {
+  const SyntheticDataset d = GenerateFigure1Dataset(1, 200);
+  const Lof lof(15);
+  GroundTruthBuilderOptions options;
+  options.min_dim = 2;
+  options.max_dim = 2;
+  const GroundTruth gt =
+      BuildGroundTruthByExhaustiveSearch(d.dataset, lof, options);
+  // o1's best 2d subspace is the planted {0,1}.
+  ASSERT_EQ(gt.RelevantFor(0).size(), 1u);
+  EXPECT_EQ(gt.RelevantFor(0).front(), Subspace({0, 1}));
+}
+
+TEST(GroundTruthBuilderTest, OneSubspacePerOutlierPerDimension) {
+  FullSpaceGeneratorConfig config;
+  config.num_points = 80;
+  config.num_features = 6;
+  config.num_outliers = 8;
+  config.seed = 2;
+  const SyntheticDataset d = GenerateFullSpaceDataset(config);
+  const Lof lof(15);
+  GroundTruthBuilderOptions options;
+  options.min_dim = 2;
+  options.max_dim = 4;
+  const GroundTruth gt =
+      BuildGroundTruthByExhaustiveSearch(d.dataset, lof, options);
+  for (int p : d.dataset.outlier_indices()) {
+    const auto& rel = gt.RelevantFor(p);
+    ASSERT_EQ(rel.size(), 3u) << "expected one subspace per dim 2..4";
+    std::vector<std::size_t> dims;
+    for (const Subspace& s : rel) dims.push_back(s.size());
+    std::sort(dims.begin(), dims.end());
+    EXPECT_EQ(dims, (std::vector<std::size_t>{2, 3, 4}));
+  }
+}
+
+TEST(GroundTruthBuilderTest, ParallelMatchesSequential) {
+  FullSpaceGeneratorConfig config;
+  config.num_points = 60;
+  config.num_features = 6;
+  config.num_outliers = 6;
+  config.seed = 3;
+  const SyntheticDataset d = GenerateFullSpaceDataset(config);
+  const Lof lof(15);
+  GroundTruthBuilderOptions options;
+  options.min_dim = 2;
+  options.max_dim = 3;
+  const GroundTruth seq =
+      BuildGroundTruthByExhaustiveSearch(d.dataset, lof, options, nullptr);
+  ThreadPool pool(4);
+  const GroundTruth par =
+      BuildGroundTruthByExhaustiveSearch(d.dataset, lof, options, &pool);
+  for (int p : d.dataset.outlier_indices()) {
+    EXPECT_EQ(seq.RelevantFor(p), par.RelevantFor(p));
+  }
+}
+
+TEST(GroundTruthBuilderTest, BestSubspaceMaximizesStandardizedScore) {
+  const SyntheticDataset d = GenerateFigure1Dataset(4, 150);
+  const Lof lof(15);
+  GroundTruthBuilderOptions options;
+  options.min_dim = 2;
+  options.max_dim = 2;
+  const GroundTruth gt =
+      BuildGroundTruthByExhaustiveSearch(d.dataset, lof, options);
+  const int p = d.dataset.outlier_indices().front();
+  const Subspace best = gt.RelevantFor(p).front();
+  const double best_score = ScoreStandardized(lof, d.dataset, best)[p];
+  for (const Subspace& other :
+       {Subspace({0, 1}), Subspace({0, 2}), Subspace({1, 2})}) {
+    EXPECT_GE(best_score, ScoreStandardized(lof, d.dataset, other)[p] - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace subex

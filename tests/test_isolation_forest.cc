@@ -1,0 +1,132 @@
+#include "detect/isolation_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/topk.h"
+
+namespace subex {
+namespace {
+
+Dataset BlobWithOutlier(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, 2);
+  for (int p = 0; p < n - 1; ++p) {
+    m(p, 0) = rng.Gaussian(0.5, 0.05);
+    m(p, 1) = rng.Gaussian(0.5, 0.05);
+  }
+  m(n - 1, 0) = 0.99;
+  m(n - 1, 1) = 0.01;
+  return Dataset(std::move(m), {n - 1});
+}
+
+IsolationForest::Options FastOptions() {
+  IsolationForest::Options options;
+  options.num_trees = 50;
+  options.subsample_size = 64;
+  options.num_repetitions = 2;
+  options.seed = 11;
+  return options;
+}
+
+TEST(IsolationForestTest, AveragePathLengthClosedForm) {
+  EXPECT_EQ(IsolationForest::AveragePathLength(0), 0.0);
+  EXPECT_EQ(IsolationForest::AveragePathLength(1), 0.0);
+  EXPECT_EQ(IsolationForest::AveragePathLength(2), 1.0);
+  // c(n) = 2 H(n-1) - 2(n-1)/n with H via the log approximation.
+  const double h255 = std::log(255.0) + 0.5772156649015329;
+  EXPECT_NEAR(IsolationForest::AveragePathLength(256),
+              2.0 * h255 - 2.0 * 255.0 / 256.0, 1e-12);
+}
+
+TEST(IsolationForestTest, ScoresWithinUnitInterval) {
+  const Dataset d = BlobWithOutlier(200, 1);
+  const IsolationForest forest(FastOptions());
+  for (double s : forest.Score(d, Subspace())) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IsolationForestTest, OutlierNearOneInlierBelowHalf) {
+  const Dataset d = BlobWithOutlier(300, 2);
+  const IsolationForest forest(FastOptions());
+  const std::vector<double> scores = forest.Score(d, Subspace());
+  EXPECT_GT(scores[299], 0.6);
+  double inlier_mean = 0.0;
+  for (int p = 0; p < 299; ++p) inlier_mean += scores[p];
+  inlier_mean /= 299.0;
+  EXPECT_LT(inlier_mean, 0.55);
+  EXPECT_EQ(TopKIndices(scores, 1).front(), 299);
+}
+
+TEST(IsolationForestTest, DeterministicPerSubspace) {
+  const Dataset d = BlobWithOutlier(100, 3);
+  const IsolationForest forest(FastOptions());
+  EXPECT_EQ(forest.Score(d, Subspace()), forest.Score(d, Subspace()));
+  EXPECT_EQ(forest.Score(d, Subspace({0})), forest.Score(d, Subspace({0})));
+}
+
+TEST(IsolationForestTest, DifferentSubspaceDifferentRandomness) {
+  const Dataset d = BlobWithOutlier(100, 4);
+  const IsolationForest forest(FastOptions());
+  // Feature 0 and feature 1 carry differently distributed values, so the
+  // scores should differ (also exercises per-subspace seed salting).
+  EXPECT_NE(forest.Score(d, Subspace({0})), forest.Score(d, Subspace({1})));
+}
+
+TEST(IsolationForestTest, SeedChangesScores) {
+  const Dataset d = BlobWithOutlier(100, 5);
+  IsolationForest::Options a = FastOptions();
+  IsolationForest::Options b = FastOptions();
+  b.seed = 999;
+  EXPECT_NE(IsolationForest(a).Score(d, Subspace()),
+            IsolationForest(b).Score(d, Subspace()));
+}
+
+TEST(IsolationForestTest, MoreRepetitionsReduceVariance) {
+  const Dataset d = BlobWithOutlier(150, 6);
+  IsolationForest::Options one = FastOptions();
+  one.num_repetitions = 1;
+  IsolationForest::Options ten = FastOptions();
+  ten.num_repetitions = 10;
+  // Compare the outlier score across two different seeds: with more
+  // repetitions the two runs must agree more closely.
+  auto spread = [&](const IsolationForest::Options& base) {
+    IsolationForest::Options o1 = base;
+    o1.seed = 100;
+    IsolationForest::Options o2 = base;
+    o2.seed = 200;
+    const double s1 = IsolationForest(o1).Score(d, Subspace())[149];
+    const double s2 = IsolationForest(o2).Score(d, Subspace())[149];
+    return std::fabs(s1 - s2);
+  };
+  EXPECT_LE(spread(ten), spread(one) + 0.02);
+}
+
+TEST(IsolationForestTest, ConstantFeatureDoesNotCrash) {
+  Matrix m(50, 2);
+  Rng rng(7);
+  for (int p = 0; p < 50; ++p) {
+    m(p, 0) = 1.0;  // Constant.
+    m(p, 1) = rng.Uniform();
+  }
+  const Dataset d(std::move(m));
+  const IsolationForest forest(FastOptions());
+  for (double s : forest.Score(d, Subspace())) {
+    EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(IsolationForestTest, SubsampleClampedToDatasetSize) {
+  const Dataset d = BlobWithOutlier(40, 8);  // Smaller than subsample 64.
+  const IsolationForest forest(FastOptions());
+  const std::vector<double> scores = forest.Score(d, Subspace());
+  EXPECT_EQ(scores.size(), 40u);
+  EXPECT_EQ(TopKIndices(scores, 1).front(), 39);
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,104 @@
+#include "detect/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace subex {
+namespace {
+
+Dataset LineDataset() {
+  // Points at x = 0, 1, 2, 10 on a line (second feature is a decoy).
+  Matrix m = {{0.0, 100.0}, {1.0, -50.0}, {2.0, 0.0}, {10.0, 7.0}};
+  return Dataset(std::move(m));
+}
+
+TEST(KnnTest, NearestNeighborOnLine) {
+  const Dataset d = LineDataset();
+  const KnnTable knn = ComputeKnn(d, Subspace({0}), 1);
+  EXPECT_EQ(knn.neighbors[0][0].index, 1);
+  EXPECT_DOUBLE_EQ(knn.neighbors[0][0].distance, 1.0);
+  EXPECT_EQ(knn.neighbors[3][0].index, 2);
+  EXPECT_DOUBLE_EQ(knn.neighbors[3][0].distance, 8.0);
+}
+
+TEST(KnnTest, ExcludesSelf) {
+  const Dataset d = LineDataset();
+  const KnnTable knn = ComputeKnn(d, Subspace({0}), 3);
+  for (std::size_t p = 0; p < d.num_points(); ++p) {
+    for (const Neighbor& nb : knn.neighbors[p]) {
+      EXPECT_NE(nb.index, static_cast<int>(p));
+    }
+  }
+}
+
+TEST(KnnTest, DistancesAscending) {
+  Rng rng(4);
+  Matrix m(60, 3);
+  for (std::size_t p = 0; p < 60; ++p) {
+    for (std::size_t f = 0; f < 3; ++f) m(p, f) = rng.Uniform();
+  }
+  const Dataset d(std::move(m));
+  const KnnTable knn = ComputeKnn(d, Subspace(), 10);
+  for (const auto& nbs : knn.neighbors) {
+    ASSERT_EQ(nbs.size(), 10u);
+    for (std::size_t i = 1; i < nbs.size(); ++i) {
+      EXPECT_GE(nbs[i].distance, nbs[i - 1].distance);
+    }
+  }
+}
+
+TEST(KnnTest, KClampedToNMinusOne) {
+  const Dataset d = LineDataset();
+  const KnnTable knn = ComputeKnn(d, Subspace({0}), 100);
+  EXPECT_EQ(knn.k, 3);
+  EXPECT_EQ(knn.neighbors[0].size(), 3u);
+}
+
+TEST(KnnTest, KDistanceIsLastNeighbor) {
+  const Dataset d = LineDataset();
+  const KnnTable knn = ComputeKnn(d, Subspace({0}), 2);
+  EXPECT_DOUBLE_EQ(knn.KDistance(0), 2.0);  // Neighbors of 0: x=1, x=2.
+}
+
+TEST(KnnTest, SubspaceRestrictsDistance) {
+  const Dataset d = LineDataset();
+  // In feature 1, the nearest neighbor of point 2 (value 0) is point 3
+  // (value 7), not its feature-0 neighbors.
+  const KnnTable knn = ComputeKnn(d, Subspace({1}), 1);
+  EXPECT_EQ(knn.neighbors[2][0].index, 3);
+}
+
+TEST(KnnTest, EmptySubspaceMeansFullSpace) {
+  const Dataset d = LineDataset();
+  const KnnTable full = ComputeKnn(d, Subspace(), 2);
+  const KnnTable both = ComputeKnn(d, Subspace({0, 1}), 2);
+  for (std::size_t p = 0; p < d.num_points(); ++p) {
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(full.neighbors[p][i].index, both.neighbors[p][i].index);
+      EXPECT_DOUBLE_EQ(full.neighbors[p][i].distance,
+                       both.neighbors[p][i].distance);
+    }
+  }
+}
+
+TEST(KnnTest, TieBrokenByIndex) {
+  Matrix m = {{0.0}, {1.0}, {-1.0}, {5.0}};
+  const Dataset d(std::move(m));
+  const KnnTable knn = ComputeKnn(d, Subspace({0}), 1);
+  // Points 1 and 2 are both at distance 1 from point 0; index 1 wins.
+  EXPECT_EQ(knn.neighbors[0][0].index, 1);
+}
+
+TEST(KnnTest, DuplicatePointsZeroDistance) {
+  Matrix m = {{2.0, 2.0}, {2.0, 2.0}, {3.0, 3.0}};
+  const Dataset d(std::move(m));
+  const KnnTable knn = ComputeKnn(d, Subspace(), 1);
+  EXPECT_EQ(knn.neighbors[0][0].index, 1);
+  EXPECT_DOUBLE_EQ(knn.neighbors[0][0].distance, 0.0);
+}
+
+}  // namespace
+}  // namespace subex

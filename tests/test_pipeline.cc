@@ -1,0 +1,105 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "detect/lof.h"
+#include "explain/beam.h"
+#include "explain/lookout.h"
+
+namespace subex {
+namespace {
+
+SyntheticDataset SmallHics() {
+  HicsGeneratorConfig config;
+  config.num_points = 250;
+  config.subspace_dims = {2, 2};
+  config.seed = 77;
+  return GenerateHicsDataset(config);
+}
+
+TEST(PointPipelineTest, PerfectExplainerGivesMapOne) {
+  const SyntheticDataset d = SmallHics();
+  const Lof lof(15);
+  Beam::Options options;
+  options.beam_width = 10;
+  const Beam beam(options);
+  const PipelineResult result = RunPointExplanationPipeline(
+      d.dataset, d.ground_truth, lof, beam, 2);
+  EXPECT_EQ(result.detector_name, "LOF");
+  EXPECT_EQ(result.explainer_name, "Beam");
+  EXPECT_EQ(result.explanation_dim, 2);
+  EXPECT_EQ(result.num_points, 10);  // 2 subspaces x 5 outliers.
+  EXPECT_GT(result.map, 0.9);
+  EXPECT_GT(result.mean_recall, 0.9);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST(PointPipelineTest, EvaluatesOnlyPointsExplainedAtDim) {
+  const SyntheticDataset d = SmallHics();
+  const Lof lof(15);
+  const Beam beam;
+  // No ground-truth subspace has 3 dims -> nothing to evaluate.
+  const PipelineResult result = RunPointExplanationPipeline(
+      d.dataset, d.ground_truth, lof, beam, 3);
+  EXPECT_EQ(result.num_points, 0);
+  EXPECT_EQ(result.map, 0.0);
+}
+
+TEST(PointPipelineTest, MaxPointsSubsamples) {
+  const SyntheticDataset d = SmallHics();
+  const Lof lof(15);
+  Beam::Options beam_options;
+  beam_options.beam_width = 10;
+  const Beam beam(beam_options);
+  PipelineOptions options;
+  options.max_points = 4;
+  const PipelineResult result = RunPointExplanationPipeline(
+      d.dataset, d.ground_truth, lof, beam, 2, options);
+  EXPECT_EQ(result.num_points, 4);
+}
+
+TEST(PointPipelineTest, SubsampleDeterministicPerSeed) {
+  const SyntheticDataset d = SmallHics();
+  const Lof lof(15);
+  Beam::Options beam_options;
+  beam_options.beam_width = 5;
+  const Beam beam(beam_options);
+  PipelineOptions options;
+  options.max_points = 3;
+  const PipelineResult a = RunPointExplanationPipeline(
+      d.dataset, d.ground_truth, lof, beam, 2, options);
+  const PipelineResult b = RunPointExplanationPipeline(
+      d.dataset, d.ground_truth, lof, beam, 2, options);
+  EXPECT_EQ(a.map, b.map);
+  EXPECT_EQ(a.mean_recall, b.mean_recall);
+}
+
+TEST(SummarizationPipelineTest, PerfectSummaryGivesMapOne) {
+  const SyntheticDataset d = SmallHics();
+  const Lof lof(15);
+  LookOut::Options options;
+  options.budget = 10;
+  const LookOut lookout(options);
+  const PipelineResult result = RunSummarizationPipeline(
+      d.dataset, d.ground_truth, lof, lookout, 2);
+  EXPECT_EQ(result.explainer_name, "LookOut");
+  EXPECT_EQ(result.num_points, 10);
+  // Both planted subspaces are selected in the first two greedy steps, so
+  // every outlier sees its subspace within the top 2 -> MAP >= 0.5.
+  EXPECT_GT(result.map, 0.5);
+  EXPECT_GT(result.mean_recall, 0.9);
+}
+
+TEST(SummarizationPipelineTest, RuntimeCoversSummarizationOnly) {
+  const SyntheticDataset d = SmallHics();
+  const Lof lof(15);
+  const LookOut lookout;
+  const PipelineResult result = RunSummarizationPipeline(
+      d.dataset, d.ground_truth, lof, lookout, 2);
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_LT(result.seconds, 60.0);
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,117 @@
+#include "explain/refout.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/generators.h"
+#include "detect/lof.h"
+
+namespace subex {
+namespace {
+
+RefOut::Options SmallOptions() {
+  RefOut::Options options;
+  options.pool_size = 60;
+  options.beam_width = 40;
+  options.seed = 5;
+  return options;
+}
+
+TEST(RefOutTest, RecoversPlantedSubspaceForSubspaceOutliers) {
+  // RefOut's sweet spot (§4.1): subspace outliers, moderate dataset
+  // dimensionality, LOF.
+  HicsGeneratorConfig config;
+  config.num_points = 300;
+  config.subspace_dims = {2, 3, 2};
+  config.seed = 13;
+  const SyntheticDataset d = GenerateHicsDataset(config);
+  const Lof lof(15);
+  const RefOut refout(SmallOptions());
+
+  int recovered_at_rank1 = 0;
+  int evaluated = 0;
+  for (int p : d.dataset.outlier_indices()) {
+    for (const Subspace& rel : d.ground_truth.RelevantFor(p)) {
+      if (rel.size() != 2) continue;
+      ++evaluated;
+      const RankedSubspaces result =
+          refout.Explain(d.dataset, lof, p, 2);
+      ASSERT_FALSE(result.empty());
+      if (result.subspaces.front() == rel) ++recovered_at_rank1;
+    }
+  }
+  ASSERT_GT(evaluated, 0);
+  // The random pool makes recovery probabilistic; most must succeed.
+  EXPECT_GE(recovered_at_rank1, evaluated * 7 / 10);
+}
+
+TEST(RefOutTest, ReturnsOnlyTargetDimensionality) {
+  const SyntheticDataset d = GenerateFigure1Dataset(7, 150);
+  const Lof lof(15);
+  const RefOut refout(SmallOptions());
+  const RankedSubspaces result = refout.Explain(d.dataset, lof, 0, 2);
+  for (const Subspace& s : result.subspaces) EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(RefOutTest, DeterministicPerPoint) {
+  const SyntheticDataset d = GenerateFigure1Dataset(8, 150);
+  const Lof lof(15);
+  const RefOut refout(SmallOptions());
+  const RankedSubspaces a = refout.Explain(d.dataset, lof, 0, 2);
+  const RankedSubspaces b = refout.Explain(d.dataset, lof, 0, 2);
+  EXPECT_EQ(a.subspaces, b.subspaces);
+}
+
+TEST(RefOutTest, DifferentPointsGetDifferentPools) {
+  const SyntheticDataset d = GenerateFigure1Dataset(9, 150);
+  const Lof lof(15);
+  const RefOut refout(SmallOptions());
+  // Both calls must succeed; the per-point pool salting is observable via
+  // the (usually) different candidate tails.
+  const RankedSubspaces a = refout.Explain(d.dataset, lof, 0, 2);
+  const RankedSubspaces b = refout.Explain(d.dataset, lof, 1, 2);
+  EXPECT_FALSE(a.empty());
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(RefOutTest, ScoresSortedDescending) {
+  const SyntheticDataset d = GenerateFigure1Dataset(10, 150);
+  const Lof lof(15);
+  const RefOut refout(SmallOptions());
+  const RankedSubspaces result = refout.Explain(d.dataset, lof, 0, 2);
+  for (std::size_t i = 1; i < result.scores.size(); ++i) {
+    EXPECT_GE(result.scores[i - 1], result.scores[i]);
+  }
+}
+
+TEST(RefOutTest, RespectsMaxResults) {
+  const SyntheticDataset d = GenerateFigure1Dataset(11, 150);
+  const Lof lof(15);
+  RefOut::Options options = SmallOptions();
+  options.max_results = 3;
+  const RefOut refout(options);
+  EXPECT_LE(refout.Explain(d.dataset, lof, 0, 2).size(), 3u);
+}
+
+TEST(RefOutTest, ProjectionRatioClampedForTinyDatasets) {
+  // 3 features with ratio 0.7 -> projection dim 2; must still work for
+  // target dim 2.
+  const SyntheticDataset d = GenerateFigure1Dataset(12, 120);
+  const Lof lof(15);
+  const RefOut refout(SmallOptions());
+  const RankedSubspaces result = refout.Explain(d.dataset, lof, 0, 2);
+  EXPECT_FALSE(result.empty());
+}
+
+TEST(RefOutTest, KsTestVariantRuns) {
+  const SyntheticDataset d = GenerateFigure1Dataset(13, 150);
+  const Lof lof(15);
+  RefOut::Options options = SmallOptions();
+  options.test = TwoSampleTestKind::kKolmogorovSmirnov;
+  const RefOut refout(options);
+  EXPECT_FALSE(refout.Explain(d.dataset, lof, 0, 2).empty());
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,44 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace subex {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table;
+  table.SetHeader({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "2.5"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Column alignment: "value" starts at the same offset in header as "1"
+  // would in a row padded to the widest cell ("long-name").
+  const std::size_t header_value = out.find("value");
+  EXPECT_EQ(header_value, std::string("long-name  ").size());
+}
+
+TEST(TextTableTest, EmptyTableRendersHeaderOnly) {
+  TextTable table;
+  table.SetHeader({"x"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(FormatDoubleTest, RoundsToDecimals) {
+  EXPECT_EQ(FormatDouble(0.8349, 2), "0.83");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+  EXPECT_EQ(FormatDouble(0.8355, 3), "0.836");
+}
+
+TEST(FormatSecondsTest, AdaptiveUnits) {
+  EXPECT_EQ(FormatSeconds(0.0421), "42ms");
+  EXPECT_EQ(FormatSeconds(3.21), "3.2s");
+  EXPECT_EQ(FormatSeconds(250.0), "250s");
+}
+
+}  // namespace
+}  // namespace subex

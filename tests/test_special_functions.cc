@@ -1,0 +1,143 @@
+#include "stats/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace subex {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, ClosedFormA1) {
+  // I_x(1, b) = 1 - (1-x)^b.
+  for (double b : {0.5, 2.0, 7.0}) {
+    for (double x : {0.2, 0.6, 0.95}) {
+      EXPECT_NEAR(RegularizedIncompleteBeta(1.0, b, x),
+                  1.0 - std::pow(1.0 - x, b), 1e-10);
+    }
+  }
+}
+
+TEST(IncompleteBetaTest, ClosedFormB1) {
+  // I_x(a, 1) = x^a.
+  for (double a : {0.5, 3.0, 10.0}) {
+    for (double x : {0.1, 0.5, 0.8}) {
+      EXPECT_NEAR(RegularizedIncompleteBeta(a, 1.0, x), std::pow(x, a),
+                  1e-10);
+    }
+  }
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double a : {0.7, 2.5, 6.0}) {
+    for (double b : {1.3, 4.0}) {
+      for (double x : {0.15, 0.5, 0.85}) {
+        EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x),
+                    1.0 - RegularizedIncompleteBeta(b, a, 1.0 - x), 1e-10);
+      }
+    }
+  }
+}
+
+TEST(IncompleteBetaTest, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.05; x < 1.0; x += 0.05) {
+    const double v = RegularizedIncompleteBeta(2.2, 3.7, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(StudentTCdfTest, ZeroIsHalf) {
+  for (double df : {1.0, 2.0, 5.5, 30.0}) {
+    EXPECT_NEAR(StudentTCdf(0.0, df), 0.5, 1e-12);
+  }
+}
+
+TEST(StudentTCdfTest, CauchyClosedForm) {
+  // df=1 is the Cauchy distribution: F(t) = 1/2 + atan(t)/pi.
+  for (double t : {-3.0, -0.5, 0.7, 2.0, 10.0}) {
+    EXPECT_NEAR(StudentTCdf(t, 1.0), 0.5 + std::atan(t) / kPi, 1e-10);
+  }
+}
+
+TEST(StudentTCdfTest, DfTwoClosedForm) {
+  // df=2: F(t) = 1/2 + t / (2 sqrt(2 + t^2)).
+  for (double t : {-4.0, -1.0, 0.3, 1.5, 6.0}) {
+    EXPECT_NEAR(StudentTCdf(t, 2.0),
+                0.5 + t / (2.0 * std::sqrt(2.0 + t * t)), 1e-10);
+  }
+}
+
+TEST(StudentTCdfTest, LargeDfApproachesNormal) {
+  for (double t : {-2.0, -1.0, 0.5, 1.96}) {
+    EXPECT_NEAR(StudentTCdf(t, 1e6), NormalCdf(t), 1e-4);
+  }
+}
+
+TEST(StudentTCdfTest, SymmetricTails) {
+  EXPECT_NEAR(StudentTCdf(1.7, 8.0) + StudentTCdf(-1.7, 8.0), 1.0, 1e-12);
+}
+
+TEST(StudentTCdfTest, InfinityHandled) {
+  EXPECT_EQ(StudentTCdf(INFINITY, 5.0), 1.0);
+  EXPECT_EQ(StudentTCdf(-INFINITY, 5.0), 0.0);
+}
+
+TEST(StudentTPValueTest, TwoSidedMatchesCdf) {
+  const double t = 2.3;
+  const double df = 11.0;
+  EXPECT_NEAR(StudentTTwoSidedPValue(t, df),
+              2.0 * (1.0 - StudentTCdf(t, df)), 1e-10);
+  EXPECT_NEAR(StudentTTwoSidedPValue(-t, df), StudentTTwoSidedPValue(t, df),
+              1e-12);
+}
+
+TEST(StudentTPValueTest, ZeroStatisticGivesOne) {
+  EXPECT_NEAR(StudentTTwoSidedPValue(0.0, 9.0), 1.0, 1e-12);
+}
+
+TEST(KolmogorovTest, KnownQuantiles) {
+  // Standard critical values of the Kolmogorov distribution.
+  EXPECT_NEAR(KolmogorovComplementaryCdf(1.2238), 0.10, 5e-3);
+  EXPECT_NEAR(KolmogorovComplementaryCdf(1.3581), 0.05, 5e-3);
+  EXPECT_NEAR(KolmogorovComplementaryCdf(1.6276), 0.01, 2e-3);
+}
+
+TEST(KolmogorovTest, Bounds) {
+  EXPECT_EQ(KolmogorovComplementaryCdf(0.0), 1.0);
+  EXPECT_EQ(KolmogorovComplementaryCdf(-1.0), 1.0);
+  EXPECT_NEAR(KolmogorovComplementaryCdf(5.0), 0.0, 1e-12);
+}
+
+TEST(KolmogorovTest, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double x = 0.1; x < 3.0; x += 0.1) {
+    const double q = KolmogorovComplementaryCdf(x);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.1586552539, 1e-8);
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,115 @@
+#include "explain/surrogate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/generators.h"
+#include "detect/lof.h"
+
+namespace subex {
+namespace {
+
+TEST(SurrogateTest, RecoversFigure1Subspace) {
+  const SyntheticDataset d = GenerateFigure1Dataset(1, 300);
+  const Lof lof(15);
+  const SurrogateExplainer surrogate;
+  // The surrogate explains via full-space score structure; in the 3d toy
+  // dataset the relevant features must land in the top-ranked subspaces.
+  const RankedSubspaces result = surrogate.Explain(d.dataset, lof, 0, 2);
+  ASSERT_FALSE(result.empty());
+  // All 2d subsets of 3 features = 3 candidates; the planted {0,1} must be
+  // among them and the ranking must not crash.
+  EXPECT_NE(std::find(result.subspaces.begin(), result.subspaces.end(),
+                      Subspace({0, 1})),
+            result.subspaces.end());
+}
+
+TEST(SurrogateTest, SignatureConcentratesOnRelevantFeatures) {
+  // One relevant 2d subspace in a 10-feature dataset with 8 noise features:
+  // the surrogate's candidate pool must be dominated by relevant features.
+  HicsGeneratorConfig config;
+  config.num_points = 400;
+  config.subspace_dims = {2, 2, 3, 3};
+  config.seed = 31;
+  const SyntheticDataset d = GenerateHicsDataset(config);
+  const Lof lof(15);
+  const SurrogateExplainer surrogate;
+  const int point = d.dataset.outlier_indices().front();
+  const RankedSubspaces result = surrogate.Explain(d.dataset, lof, point, 2);
+  EXPECT_FALSE(result.empty());
+  for (const Subspace& s : result.subspaces) EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(SurrogateTest, ReturnsRequestedDimensionality) {
+  const SyntheticDataset d = GenerateFigure1Dataset(2, 200);
+  const Lof lof(15);
+  const SurrogateExplainer surrogate;
+  for (int dim : {1, 2, 3}) {
+    const RankedSubspaces result =
+        surrogate.Explain(d.dataset, lof, 0, dim);
+    for (const Subspace& s : result.subspaces) {
+      EXPECT_EQ(static_cast<int>(s.size()), dim);
+    }
+  }
+}
+
+TEST(SurrogateTest, RespectsMaxResults) {
+  const SyntheticDataset d = GenerateFigure1Dataset(3, 200);
+  const Lof lof(15);
+  SurrogateExplainer::Options options;
+  options.max_results = 2;
+  const SurrogateExplainer surrogate(options);
+  EXPECT_LE(surrogate.Explain(d.dataset, lof, 0, 2).size(), 2u);
+}
+
+TEST(SurrogateTest, FidelityHighOnStructuredScores) {
+  HicsGeneratorConfig config;
+  config.num_points = 300;
+  config.subspace_dims = {2, 3};
+  config.seed = 5;
+  const SyntheticDataset d = GenerateHicsDataset(config);
+  const Lof lof(15);
+  const SurrogateExplainer surrogate;
+  // The tree cannot be perfect (LOF is not axis-aligned) but must explain
+  // a nontrivial share of the score variance.
+  EXPECT_GT(surrogate.Fidelity(d.dataset, lof), 0.2);
+}
+
+TEST(SurrogateTest, Deterministic) {
+  const SyntheticDataset d = GenerateFigure1Dataset(4, 200);
+  const Lof lof(15);
+  const SurrogateExplainer surrogate;
+  const RankedSubspaces a = surrogate.Explain(d.dataset, lof, 0, 2);
+  const RankedSubspaces b = surrogate.Explain(d.dataset, lof, 0, 2);
+  EXPECT_EQ(a.subspaces, b.subspaces);
+  EXPECT_EQ(a.scores, b.scores);
+}
+
+TEST(SurrogateTest, ScoresSortedDescending) {
+  const SyntheticDataset d = GenerateFigure1Dataset(5, 200);
+  const Lof lof(15);
+  const SurrogateExplainer surrogate;
+  const RankedSubspaces result = surrogate.Explain(d.dataset, lof, 0, 2);
+  for (std::size_t i = 1; i < result.scores.size(); ++i) {
+    EXPECT_GE(result.scores[i - 1], result.scores[i]);
+  }
+}
+
+TEST(SurrogateTest, CandidateFeatureKnobLimitsPool) {
+  HicsGeneratorConfig config;
+  config.num_points = 250;
+  config.subspace_dims = {2, 2, 2};
+  config.seed = 9;
+  const SyntheticDataset d = GenerateHicsDataset(config);
+  const Lof lof(15);
+  SurrogateExplainer::Options options;
+  options.candidate_features = 3;
+  const SurrogateExplainer surrogate(options);
+  const RankedSubspaces result = surrogate.Explain(
+      d.dataset, lof, d.dataset.outlier_indices().front(), 2);
+  EXPECT_LE(result.size(), 3u);  // C(3, 2) candidates at most.
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,113 @@
+#include "core/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "explain/beam.h"
+#include "explain/hics.h"
+#include "explain/lookout.h"
+#include "explain/refout.h"
+
+namespace subex {
+namespace {
+
+TEST(TestbedProfileTest, PaperProfileMatchesSection31) {
+  const TestbedProfile p = TestbedProfile::Paper();
+  EXPECT_EQ(p.beam_width, 100);
+  EXPECT_EQ(p.refout_pool_size, 100);
+  EXPECT_EQ(p.lookout_budget, 100);
+  EXPECT_EQ(p.hics_candidate_cutoff, 400);
+  EXPECT_EQ(p.hics_mc_iterations, 100);
+  EXPECT_EQ(p.iforest_trees, 100);
+  EXPECT_EQ(p.iforest_repetitions, 10);
+  EXPECT_EQ(p.max_results, 100);
+  EXPECT_EQ(p.dataset_scale, 1.0);
+  EXPECT_EQ(p.max_points_per_cell, 0);
+}
+
+TEST(TestbedProfileTest, QuickProfileIsSmaller) {
+  const TestbedProfile q = TestbedProfile::Quick();
+  EXPECT_LT(q.dataset_scale, 1.0);
+  EXPECT_LE(q.beam_width, 100);
+  EXPECT_LE(q.hics_mc_iterations, 100);
+  EXPECT_GT(q.max_points_per_cell, 0);
+}
+
+TEST(TestbedFactoryTest, DetectorsCarryProfileKnobs) {
+  const TestbedProfile q = TestbedProfile::Quick();
+  const auto lof = MakeTestbedDetector(DetectorKind::kLof, q);
+  EXPECT_EQ(lof->name(), "LOF");
+  const auto iforest =
+      MakeTestbedDetector(DetectorKind::kIsolationForest, q);
+  EXPECT_EQ(iforest->name(), "iForest");
+}
+
+TEST(TestbedFactoryTest, PointExplainersCarryProfileKnobs) {
+  const TestbedProfile q = TestbedProfile::Quick();
+  const auto beam =
+      MakeTestbedPointExplainer(PointExplainerKind::kBeam, q);
+  EXPECT_EQ(beam->name(), "Beam");
+  EXPECT_EQ(static_cast<const Beam*>(beam.get())->options().beam_width,
+            q.beam_width);
+  const auto refout =
+      MakeTestbedPointExplainer(PointExplainerKind::kRefOut, q);
+  EXPECT_EQ(static_cast<const RefOut*>(refout.get())->options().pool_size,
+            q.refout_pool_size);
+}
+
+TEST(TestbedFactoryTest, SummarizersCarryProfileKnobs) {
+  const TestbedProfile q = TestbedProfile::Quick();
+  const auto lookout = MakeTestbedSummarizer(SummarizerKind::kLookOut, q);
+  EXPECT_EQ(static_cast<const LookOut*>(lookout.get())->options().budget,
+            q.lookout_budget);
+  const auto hics = MakeTestbedSummarizer(SummarizerKind::kHics, q);
+  EXPECT_EQ(
+      static_cast<const Hics*>(hics.get())->options().candidate_cutoff,
+      q.hics_candidate_cutoff);
+}
+
+TEST(TestbedSuiteTest, SyntheticSuiteRespectsDimensionBudget) {
+  TestbedProfile q = TestbedProfile::Quick();
+  q.dataset_scale = 0.2;
+  q.max_dataset_dim = 23;
+  const std::vector<TestbedDataset> suite = BuildSyntheticSuite(q);
+  ASSERT_EQ(suite.size(), 2u);  // 14d and 23d only.
+  for (const TestbedDataset& entry : suite) {
+    EXPECT_TRUE(entry.subspace_outliers);
+    EXPECT_LE(entry.data.dataset.num_features(), 23u);
+    EXPECT_GT(entry.relevant_feature_ratio, 0.0);
+    EXPECT_LT(entry.relevant_feature_ratio, 1.0);
+    EXPECT_FALSE(entry.explanation_dims.empty());
+    EXPECT_FALSE(entry.data.ground_truth.empty());
+  }
+  // Table 1: 5/14 = 36% relevant feature ratio for the 14d split.
+  EXPECT_NEAR(suite[0].relevant_feature_ratio, 5.0 / 14.0, 1e-9);
+}
+
+TEST(TestbedSuiteTest, RealSuiteBuildsGroundTruth) {
+  TestbedProfile q = TestbedProfile::Quick();
+  q.dataset_scale = 0.2;   // Tiny for test speed.
+  q.max_explanation_dim = 2;  // Ground truth search at 2d only.
+  const std::vector<TestbedDataset> suite = BuildRealSuite(q);
+  ASSERT_EQ(suite.size(), 3u);
+  for (const TestbedDataset& entry : suite) {
+    EXPECT_FALSE(entry.subspace_outliers);
+    EXPECT_EQ(entry.relevant_feature_ratio, 1.0);
+    EXPECT_FALSE(entry.data.ground_truth.empty());
+    // Every outlier explained at dim 2.
+    for (int p : entry.data.dataset.outlier_indices()) {
+      ASSERT_EQ(entry.data.ground_truth.RelevantFor(p).size(), 1u);
+      EXPECT_EQ(entry.data.ground_truth.RelevantFor(p).front().size(), 2u);
+    }
+  }
+}
+
+TEST(TestbedNamesTest, KindNames) {
+  EXPECT_STREQ(PointExplainerKindName(PointExplainerKind::kBeam), "Beam");
+  EXPECT_STREQ(PointExplainerKindName(PointExplainerKind::kRefOut),
+               "RefOut");
+  EXPECT_STREQ(SummarizerKindName(SummarizerKind::kLookOut), "LookOut");
+  EXPECT_STREQ(SummarizerKindName(SummarizerKind::kHics), "HiCS");
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,78 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace subex {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadParallelForRunsAllIterations) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(100, [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, MultiThreadParallelForRunsAllIterationsOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not deadlock.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReducesCorrectSum) {
+  ThreadPool pool(4);
+  std::vector<long long> partial(256, 0);
+  pool.ParallelFor(256, [&](std::size_t i) {
+    partial[i] = static_cast<long long>(i) * i;
+  });
+  const long long total =
+      std::accumulate(partial.begin(), partial.end(), 0LL);
+  long long expected = 0;
+  for (long long i = 0; i < 256; ++i) expected += i * i;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPoolTest, NumThreadsReported) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithPendingCompletedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+}  // namespace
+}  // namespace subex

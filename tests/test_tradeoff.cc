@@ -1,0 +1,87 @@
+#include "core/tradeoff.h"
+
+#include <gtest/gtest.h>
+
+namespace subex {
+namespace {
+
+PipelineScore Make(const char* algo, const char* det, double map,
+                   double seconds, bool generic = true) {
+  PipelineScore s;
+  s.explainer = algo;
+  s.detector = det;
+  s.map = map;
+  s.seconds = seconds;
+  s.generic = generic;
+  return s;
+}
+
+TEST(TradeoffTest, PicksHighestMap) {
+  PipelineScore best;
+  ASSERT_TRUE(SelectBestTradeoff({Make("Beam", "LOF", 0.9, 10.0),
+                                  Make("RefOut", "LOF", 0.5, 1.0)},
+                                 {}, &best));
+  EXPECT_EQ(best.Label(), "Beam LOF");
+}
+
+TEST(TradeoffTest, TieBandResolvedByRuntime) {
+  PipelineScore best;
+  ASSERT_TRUE(SelectBestTradeoff({Make("Beam", "LOF", 0.95, 10.0),
+                                  Make("RefOut", "LOF", 0.9, 1.0)},
+                                 {}, &best));
+  // Within the default 0.1 MAP tolerance, the faster pipeline wins.
+  EXPECT_EQ(best.Label(), "RefOut LOF");
+}
+
+TEST(TradeoffTest, GenericPreferredOverSpecificInTieBand) {
+  PipelineScore best;
+  ASSERT_TRUE(SelectBestTradeoff(
+      {Make("HiCS", "LOF", 0.95, 1.0, /*generic=*/false),
+       Make("LookOut", "LOF", 0.9, 1.0, /*generic=*/true)},
+      {}, &best));
+  EXPECT_EQ(best.Label(), "LookOut LOF");
+}
+
+TEST(TradeoffTest, SpecificWinsWhenClearlyMoreEffective) {
+  PipelineScore best;
+  ASSERT_TRUE(SelectBestTradeoff(
+      {Make("HiCS", "LOF", 0.95, 5.0, /*generic=*/false),
+       Make("LookOut", "LOF", 0.3, 1.0, /*generic=*/true)},
+      {}, &best));
+  EXPECT_EQ(best.Label(), "HiCS LOF");
+}
+
+TEST(TradeoffTest, AllBelowMinMapSelectsNothing) {
+  PipelineScore best = Make("sentinel", "none", -1, -1);
+  EXPECT_FALSE(SelectBestTradeoff({Make("Beam", "LOF", 0.02, 1.0),
+                                   Make("RefOut", "LOF", 0.0, 1.0)},
+                                  {}, &best));
+  EXPECT_EQ(best.Label(), "sentinel none");  // Untouched.
+}
+
+TEST(TradeoffTest, EmptyInputSelectsNothing) {
+  PipelineScore best;
+  EXPECT_FALSE(SelectBestTradeoff({}, {}, &best));
+}
+
+TEST(TradeoffTest, EqualEverythingPicksHigherMap) {
+  PipelineScore best;
+  ASSERT_TRUE(SelectBestTradeoff({Make("A", "LOF", 0.90, 1.0),
+                                  Make("B", "LOF", 0.95, 1.0)},
+                                 {}, &best));
+  EXPECT_EQ(best.Label(), "B LOF");
+}
+
+TEST(TradeoffTest, CustomToleranceNarrowsTieBand) {
+  TradeoffOptions options;
+  options.map_tolerance = 0.01;
+  PipelineScore best;
+  ASSERT_TRUE(SelectBestTradeoff({Make("Beam", "LOF", 0.95, 10.0),
+                                  Make("RefOut", "LOF", 0.9, 1.0)},
+                                 options, &best));
+  // 0.9 is now outside the band; slower-but-better Beam wins.
+  EXPECT_EQ(best.Label(), "Beam LOF");
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,174 @@
+#include "stats/two_sample_tests.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace subex {
+namespace {
+
+TEST(WelchTest, HandComputedStatisticAndDf) {
+  // Closed-form reference computed by hand:
+  //   a = {1..5}, b = {2.2, 3.1, 4.9, 5.5}
+  //   t = -0.8857354123158748, df = 6.65324739170809.
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {2.2, 3.1, 4.9, 5.5};
+  const TestResult r = WelchTTest(a, b);
+  EXPECT_NEAR(r.statistic, -0.8857354123158748, 1e-12);
+  EXPECT_NEAR(r.degrees_of_freedom, 6.65324739170809, 1e-10);
+  EXPECT_GT(r.p_value, 0.35);
+  EXPECT_LT(r.p_value, 0.5);
+}
+
+TEST(WelchTest, IdenticalSamplesGiveZeroStatistic) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const TestResult r = WelchTTest(a, a);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-12);
+}
+
+TEST(WelchTest, StronglySeparatedSamplesRejected) {
+  std::vector<double> a;
+  std::vector<double> b;
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(rng.Gaussian(0.0, 1.0));
+    b.push_back(rng.Gaussian(10.0, 1.0));
+  }
+  const TestResult r = WelchTTest(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_LT(r.statistic, -10.0);
+}
+
+TEST(WelchTest, SymmetryOfStatistic) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {5, 6, 9};
+  const TestResult ab = WelchTTest(a, b);
+  const TestResult ba = WelchTTest(b, a);
+  EXPECT_NEAR(ab.statistic, -ba.statistic, 1e-12);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+}
+
+TEST(WelchTest, DegenerateSmallSamples) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> several = {1.0, 2.0, 3.0};
+  const TestResult r = WelchTTest(one, several);
+  EXPECT_EQ(r.statistic, 0.0);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(WelchTest, BothConstantEqualMeans) {
+  const std::vector<double> a = {2.0, 2.0, 2.0};
+  const std::vector<double> b = {2.0, 2.0};
+  const TestResult r = WelchTTest(a, b);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(WelchTest, BothConstantDifferentMeans) {
+  const std::vector<double> a = {2.0, 2.0, 2.0};
+  const std::vector<double> b = {3.0, 3.0};
+  const TestResult r = WelchTTest(a, b);
+  EXPECT_EQ(r.p_value, 0.0);
+}
+
+TEST(KsTest, HandComputedStatistic) {
+  // a = {0.1, 0.2, 0.3, 0.4, 0.9}, b = {0.5, 0.6, 0.7, 0.8}:
+  // at x = 0.4, F_a = 4/5 and F_b = 0 -> D = 0.8.
+  const std::vector<double> a = {0.1, 0.2, 0.3, 0.4, 0.9};
+  const std::vector<double> b = {0.5, 0.6, 0.7, 0.8};
+  const TestResult r = KolmogorovSmirnovTest(a, b);
+  EXPECT_NEAR(r.statistic, 0.8, 1e-12);
+}
+
+TEST(KsTest, IdenticalSamplesZeroStatistic) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const TestResult r = KolmogorovSmirnovTest(a, a);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(KsTest, DisjointSupportsGiveStatisticOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {10.0, 11.0, 12.0};
+  const TestResult r = KolmogorovSmirnovTest(a, b);
+  EXPECT_NEAR(r.statistic, 1.0, 1e-12);
+}
+
+TEST(KsTest, LargeSeparatedSamplesSmallPValue) {
+  Rng rng(9);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.Gaussian(0.0, 1.0));
+    b.push_back(rng.Gaussian(2.0, 1.0));
+  }
+  const TestResult r = KolmogorovSmirnovTest(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, SameDistributionLargeSamplesHighPValue) {
+  Rng rng(11);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.Gaussian(0.0, 1.0));
+    b.push_back(rng.Gaussian(0.0, 1.0));
+  }
+  const TestResult r = KolmogorovSmirnovTest(a, b);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, EmptySampleDegenerate) {
+  const std::vector<double> a;
+  const std::vector<double> b = {1.0, 2.0};
+  const TestResult r = KolmogorovSmirnovTest(a, b);
+  EXPECT_EQ(r.statistic, 0.0);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(DispatchTest, RunTwoSampleTestDispatches) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {6, 7, 8, 9};
+  const TestResult welch = RunTwoSampleTest(TwoSampleTestKind::kWelch, a, b);
+  const TestResult ks =
+      RunTwoSampleTest(TwoSampleTestKind::kKolmogorovSmirnov, a, b);
+  EXPECT_NEAR(welch.statistic, WelchTTest(a, b).statistic, 1e-15);
+  EXPECT_NEAR(ks.statistic, KolmogorovSmirnovTest(a, b).statistic, 1e-15);
+}
+
+TEST(DispatchTest, Names) {
+  EXPECT_STREQ(TwoSampleTestKindName(TwoSampleTestKind::kWelch), "welch");
+  EXPECT_STREQ(TwoSampleTestKindName(TwoSampleTestKind::kKolmogorovSmirnov),
+               "ks");
+}
+
+// Property sweep: the Welch p-value is approximately uniform under the null
+// (here: both samples from N(0,1)), so its false-positive rate at level
+// alpha should be ~alpha.
+class WelchNullCalibration : public ::testing::TestWithParam<double> {};
+
+TEST_P(WelchNullCalibration, FalsePositiveRateNearAlpha) {
+  const double alpha = GetParam();
+  Rng rng(1234);
+  const int trials = 800;
+  int rejections = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 30; ++i) a.push_back(rng.Gaussian(0.0, 1.0));
+    for (int i = 0; i < 25; ++i) b.push_back(rng.Gaussian(0.0, 1.0));
+    if (WelchTTest(a, b).p_value < alpha) ++rejections;
+  }
+  const double rate = static_cast<double>(rejections) / trials;
+  EXPECT_NEAR(rate, alpha, 3.0 * std::sqrt(alpha * (1 - alpha) / trials) +
+                               0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, WelchNullCalibration,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.2));
+
+}  // namespace
+}  // namespace subex
