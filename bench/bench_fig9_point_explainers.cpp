@@ -15,7 +15,13 @@
 // Cells whose estimated cost exceeds the per-detector budget are skipped
 // and printed as "-", mirroring the configurations the paper did not run.
 //
-// Usage: bench_fig9_point_explainers [--full] [--seed N]
+// Scoring routes through a per-(dataset, detector) ScoringService shared
+// across both explainers and every explanation dimensionality; each dataset
+// section ends with the cache hit-rate stats (`--no-cache` disables the
+// cache, `--threads N` sizes the worker pool).
+//
+// Usage: bench_fig9_point_explainers [--full] [--seed N] [--threads N]
+//        [--no-cache]
 
 #include "bench_util.h"
 
@@ -23,8 +29,10 @@ int main(int argc, char** argv) {
   using namespace subex;
   const TestbedProfile profile = bench::ParseProfile(
       argc, argv, "Figure 9: MAP of point explanation pipelines");
+  ThreadPool pool(static_cast<std::size_t>(profile.num_threads));
   const std::vector<TestbedDataset> suite =
-      bench::BuildFullTestbed(profile, /*synthetic=*/true, /*real=*/true);
+      bench::BuildFullTestbed(profile, /*synthetic=*/true, /*real=*/true,
+                              &pool);
 
   PipelineOptions pipeline_options;
   pipeline_options.max_points = profile.max_points_per_cell;
@@ -45,12 +53,14 @@ int main(int argc, char** argv) {
     }
     table.SetHeader(header);
 
+    bench::DetectorServices services =
+        bench::MakeDetectorServices(profile, data, &pool);
+
     for (PointExplainerKind explainer_kind :
          {PointExplainerKind::kBeam, PointExplainerKind::kRefOut}) {
       const auto explainer =
           MakeTestbedPointExplainer(explainer_kind, profile);
       for (DetectorKind detector_kind : AllDetectorKinds()) {
-        const auto detector = MakeTestbedDetector(detector_kind, profile);
         std::vector<std::string> row = {
             std::string(PointExplainerKindName(explainer_kind)) + "+" +
             DetectorKindName(detector_kind)};
@@ -65,7 +75,8 @@ int main(int argc, char** argv) {
             continue;
           }
           const PipelineResult r = RunPointExplanationPipeline(
-              data, gt, *detector, *explainer, dim, pipeline_options);
+              services.For(detector_kind), gt, *explainer, dim,
+              pipeline_options);
           row.push_back(FormatDouble(r.map));
           row.push_back(FormatDouble(r.mean_recall));
         }
@@ -73,6 +84,8 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("%s\n", table.Render().c_str());
+    bench::PrintServiceStats(services);
+    std::printf("\n");
   }
 
   std::printf(

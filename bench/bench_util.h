@@ -8,25 +8,41 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "subex/subex.h"
 
 namespace subex::bench {
 
-/// Parses `--full` (paper profile) / `--seed N` from argv; everything else
-/// is ignored. Prints the chosen profile banner.
+/// Parses `--full` (paper profile) / `--seed N` / `--threads N` (ThreadPool
+/// size, 0 = hardware concurrency) / `--no-cache` (bypass the scoring
+/// service cache) from argv; everything else is ignored. Prints the chosen
+/// profile banner.
 inline TestbedProfile ParseProfile(int argc, char** argv,
                                    const char* binary_name) {
   TestbedProfile profile = TestbedProfile::Quick();
+  int threads = profile.num_threads;
+  bool no_cache = false;
+  std::uint64_t seed = profile.seed;
+  bool seed_set = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       profile = TestbedProfile::Paper();
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      profile.seed = std::strtoull(argv[++i], nullptr, 10);
+      seed = std::strtoull(argv[++i], nullptr, 10);
+      seed_set = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      no_cache = true;
     }
   }
+  if (seed_set) profile.seed = seed;
+  profile.num_threads = threads;
+  profile.cache_scores = !no_cache;
   std::printf("== %s ==\n", binary_name);
   std::printf(
       "profile: %s (datasets scaled x%.2f, max dataset dim %d, "
@@ -36,6 +52,9 @@ inline TestbedProfile ParseProfile(int argc, char** argv,
       profile.name == "quick"
           ? "; run with --full for the paper-scale configuration"
           : "");
+  std::printf("serving: %d thread(s)%s, score cache %s\n", profile.num_threads,
+              profile.num_threads == 0 ? " (auto)" : "",
+              profile.cache_scores ? "on (--no-cache to disable)" : "OFF");
   return profile;
 }
 
@@ -99,9 +118,11 @@ inline int CellPoints(const TestbedProfile& profile,
 }
 
 /// Builds both halves of the testbed, printing progress (the real-suite
-/// ground-truth search is the slow part).
+/// ground-truth search is the slow part). Pass a pool to parallelize the
+/// exhaustive ground-truth sweep.
 inline std::vector<TestbedDataset> BuildFullTestbed(
-    const TestbedProfile& profile, bool synthetic, bool real) {
+    const TestbedProfile& profile, bool synthetic, bool real,
+    ThreadPool* pool = nullptr) {
   std::vector<TestbedDataset> all;
   if (synthetic) {
     std::printf("generating synthetic (subspace-outlier) suite...\n");
@@ -113,12 +134,52 @@ inline std::vector<TestbedDataset> BuildFullTestbed(
     std::printf(
         "generating real-dataset stand-ins + exhaustive LOF ground truth "
         "(the paper's §3.2 procedure)...\n");
-    for (TestbedDataset& d : BuildRealSuite(profile)) {
+    for (TestbedDataset& d : BuildRealSuite(profile, pool)) {
       all.push_back(std::move(d));
     }
   }
   std::printf("\n");
   return all;
+}
+
+/// Per-dataset bundle of one detector of each kind plus a scoring service
+/// over it, shared by every pipeline row of that dataset so hit rates
+/// accumulate across explainers and explanation dimensionalities.
+struct DetectorServices {
+  std::vector<DetectorKind> kinds;
+  std::vector<std::unique_ptr<Detector>> detectors;
+  std::vector<std::unique_ptr<ScoringService>> services;
+
+  ScoringService& For(DetectorKind kind) {
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      if (kinds[i] == kind) return *services[i];
+    }
+    SUBEX_CHECK_MSG(false, "unknown detector kind");
+    return *services.front();
+  }
+};
+
+/// Builds one service per detector kind over `data`, with the profile's
+/// cache budgets (or caching off under `--no-cache`).
+inline DetectorServices MakeDetectorServices(const TestbedProfile& profile,
+                                             const Dataset& data,
+                                             ThreadPool* pool) {
+  DetectorServices bundle;
+  bundle.kinds = AllDetectorKinds();
+  for (DetectorKind kind : bundle.kinds) {
+    bundle.detectors.push_back(MakeTestbedDetector(kind, profile));
+    bundle.services.push_back(std::make_unique<ScoringService>(
+        *bundle.detectors.back(), data, MakeServiceOptions(profile), pool));
+  }
+  return bundle;
+}
+
+/// Prints one "cache" stats line per detector service of a dataset.
+inline void PrintServiceStats(DetectorServices& bundle) {
+  for (std::size_t i = 0; i < bundle.kinds.size(); ++i) {
+    std::printf("%-8s cache: %s\n", DetectorKindName(bundle.kinds[i]),
+                bundle.services[i]->stats().ToString().c_str());
+  }
 }
 
 /// "MAP 0.83" or "skip" formatting for figure tables.

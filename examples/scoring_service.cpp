@@ -1,0 +1,67 @@
+// Scoring service: cached, deduplicated detector scoring for explainers.
+//
+// Explanation algorithms hammer the detector with overlapping subspace
+// queries: Beam re-scores the same low-dimensional projections while
+// widening its frontier, and every explained point starts from the same
+// exhaustive 2d stage. A `ScoringService` memoizes those standardized
+// score vectors in a sharded LRU cache (and collapses concurrent identical
+// requests into one computation), so repeated work becomes a lookup.
+//
+// This example explains every planted outlier of a HiCS-style dataset
+// twice -- once scoring the detector directly, once through the service's
+// `CachingDetector` adapter -- and prints the service's hit-rate stats.
+// The two runs produce bitwise-identical explanations.
+//
+// Run: ./scoring_service
+
+#include <cstdio>
+
+#include "subex/subex.h"
+
+int main() {
+  using namespace subex;
+
+  HicsGeneratorConfig config;
+  config.num_points = 400;
+  config.subspace_dims = {2, 3, 3};  // 8 features total.
+  config.seed = 7;
+  const SyntheticDataset example = GenerateHicsDataset(config);
+  const Dataset& data = example.dataset;
+  std::printf("dataset: %zu points x %zu features, %zu outliers\n\n",
+              data.num_points(), data.num_features(),
+              data.outlier_indices().size());
+
+  const Lof lof(15);
+  const Beam beam;
+
+  // A service wrapping the detector: same dataset, same scores, plus a
+  // cache shared by everything scoring through it.
+  ThreadPool pool(2);
+  ScoringServiceOptions options;
+  options.cache.max_entries = 1 << 14;
+  ScoringService service(lof, data, options, &pool);
+  const CachingDetector cached_lof(service);
+
+  std::printf("%-8s %-22s %-22s\n", "point", "direct top subspace",
+              "via ScoringService");
+  for (int point : data.outlier_indices()) {
+    const RankedSubspaces direct = beam.Explain(data, lof, point, 2);
+    const RankedSubspaces served = beam.Explain(data, cached_lof, point, 2);
+    std::printf("%-8d %-22s %-22s%s\n", point,
+                direct.subspaces.front().ToString().c_str(),
+                served.subspaces.front().ToString().c_str(),
+                direct.subspaces == served.subspaces &&
+                        direct.scores == served.scores
+                    ? ""
+                    : "  MISMATCH");
+  }
+
+  // Beam's exhaustive 2d stage is identical for every point, so all
+  // explanations after the first are served mostly from cache.
+  const ServiceStatsSnapshot stats = service.stats();
+  std::printf("\nservice stats: %s\n", stats.ToString().c_str());
+  std::printf("scoring time actually spent: %.3fs for %llu unique subspaces\n",
+              stats.ComputeSeconds(),
+              static_cast<unsigned long long>(stats.misses));
+  return 0;
+}

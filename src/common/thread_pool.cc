@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <exception>
 #include <utility>
 
 namespace subex {
@@ -46,17 +47,38 @@ void ThreadPool::ParallelFor(std::size_t count,
     return;
   }
   // Dynamic scheduling: workers pull the next index off a shared counter.
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  // An exception escaping `body` on a worker would otherwise unwind through
+  // WorkerLoop and terminate the process; instead the first one is captured
+  // and rethrown on the calling thread once every worker has drained, so
+  // the pool stays usable. Iterations not yet started when the failure is
+  // observed are skipped.
+  struct ForState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<ForState>();
   const std::size_t workers = std::min(threads_.size(), count);
   for (std::size_t w = 0; w < workers; ++w) {
-    Submit([next, count, &body] {
-      for (std::size_t i = next->fetch_add(1); i < count;
-           i = next->fetch_add(1)) {
-        body(i);
+    Submit([state, count, &body] {
+      for (std::size_t i = state->next.fetch_add(1); i < count;
+           i = state->next.fetch_add(1)) {
+        if (state->failed.load(std::memory_order_relaxed)) break;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          if (!state->failed.load()) {
+            state->error = std::current_exception();
+            state->failed.store(true);
+          }
+        }
       }
     });
   }
   Wait();
+  if (state->failed.load()) std::rethrow_exception(state->error);
 }
 
 void ThreadPool::WorkerLoop() {

@@ -42,7 +42,11 @@ class ThreadPool {
   /// Runs `body(i)` for every `i` in `[0, count)`, blocking until all
   /// iterations complete. Iterations are distributed dynamically so uneven
   /// per-iteration cost (e.g. subspaces of different dimensionality) balances
-  /// out. `body` must be safe to call concurrently.
+  /// out. `body` must be safe to call concurrently. If `body` throws, the
+  /// first exception is rethrown on the calling thread after all workers
+  /// drain (iterations not yet started may be skipped); the pool remains
+  /// usable. Must not be called from inside a pool task: the inner Wait
+  /// would block a worker on its own unfinished task.
   void ParallelFor(std::size_t count,
                    const std::function<void(std::size_t)>& body);
 

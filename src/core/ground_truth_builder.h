@@ -5,6 +5,7 @@
 #include "data/dataset.h"
 #include "data/ground_truth.h"
 #include "detect/detector.h"
+#include "serve/scoring_service.h"
 
 namespace subex {
 
@@ -28,6 +29,14 @@ struct GroundTruthBuilderOptions {
 GroundTruth BuildGroundTruthByExhaustiveSearch(
     const Dataset& data, const Detector& detector,
     const GroundTruthBuilderOptions& options, ThreadPool* pool = nullptr);
+
+/// Service-backed variant of the exhaustive search: identical results, but
+/// every candidate subspace is scored through `service.ScoreMany`, so the
+/// sweep parallelizes on the service's pool and reuses (and feeds) its
+/// cache. Candidates are batched in fixed-size chunks to bound the number
+/// of score vectors held live at once.
+GroundTruth BuildGroundTruthByExhaustiveSearch(
+    ScoringService& service, const GroundTruthBuilderOptions& options);
 
 }  // namespace subex
 

@@ -57,6 +57,57 @@ PipelineResult RunPointExplanationPipeline(
   return result;
 }
 
+PipelineResult RunPointExplanationPipeline(
+    ScoringService& service, const GroundTruth& ground_truth,
+    const PointExplainer& explainer, int explanation_dim,
+    const PipelineOptions& options) {
+  const Dataset& data = service.data();
+  const CachingDetector detector(service);
+
+  PipelineResult result;
+  result.detector_name = detector.name();
+  result.explainer_name = explainer.name();
+  result.explanation_dim = explanation_dim;
+
+  const GroundTruth at_dim = ground_truth.FilterByDimension(explanation_dim);
+  const std::vector<int> points =
+      SelectPoints(ground_truth, explanation_dim, options);
+
+  // Explain concurrently (explainers are deterministic per point and must
+  // not mutate shared state), then score sequentially in point order so the
+  // result is identical to the sequential pipeline.
+  std::vector<RankedSubspaces> ranked(points.size());
+  const auto start = Clock::now();
+  auto explain_one = [&](std::size_t i) {
+    ranked[i] = explainer.Explain(data, detector, points[i], explanation_dim);
+  };
+  ThreadPool* pool = service.pool();
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(points.size(), explain_one);
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) explain_one(i);
+  }
+  result.seconds = SecondsSince(start);
+
+  ExplanationScorer scorer;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    scorer.AddPoint(ranked[i].subspaces, at_dim.RelevantFor(points[i]));
+  }
+  result.map = scorer.MeanAveragePrecision();
+  result.mean_recall = scorer.MeanRecall();
+  result.num_points = scorer.num_points();
+  return result;
+}
+
+PipelineResult RunSummarizationPipeline(
+    ScoringService& service, const GroundTruth& ground_truth,
+    const Summarizer& summarizer, int explanation_dim,
+    const PipelineOptions& options) {
+  const CachingDetector detector(service);
+  return RunSummarizationPipeline(service.data(), ground_truth, detector,
+                                  summarizer, explanation_dim, options);
+}
+
 PipelineResult RunSummarizationPipeline(
     const Dataset& data, const GroundTruth& ground_truth,
     const Detector& detector, const Summarizer& summarizer,

@@ -10,6 +10,7 @@
 #include "detect/detector.h"
 #include "explain/point_explainer.h"
 #include "explain/summarizer.h"
+#include "serve/scoring_service.h"
 
 namespace subex {
 
@@ -56,6 +57,24 @@ PipelineResult RunSummarizationPipeline(
     const Dataset& data, const GroundTruth& ground_truth,
     const Detector& detector, const Summarizer& summarizer,
     int explanation_dim, const PipelineOptions& options = {});
+
+/// Service-backed point pipeline: identical protocol and (per-point
+/// deterministic explainers + pure detectors) identical results, but all
+/// scoring goes through `service` — cached subspaces are served from
+/// memory, and when the service has a multi-worker pool the points are
+/// explained concurrently, with single-flight deduplicating the overlapping
+/// subspace requests of concurrent explanations.
+PipelineResult RunPointExplanationPipeline(
+    ScoringService& service, const GroundTruth& ground_truth,
+    const PointExplainer& explainer, int explanation_dim,
+    const PipelineOptions& options = {});
+
+/// Service-backed summarization pipeline: one `Summarize` call over the
+/// full point-of-interest set, scored through the service's cache.
+PipelineResult RunSummarizationPipeline(
+    ScoringService& service, const GroundTruth& ground_truth,
+    const Summarizer& summarizer, int explanation_dim,
+    const PipelineOptions& options = {});
 
 }  // namespace subex
 

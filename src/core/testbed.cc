@@ -75,6 +75,14 @@ std::unique_ptr<Detector> MakeTestbedDetector(DetectorKind kind,
   return nullptr;
 }
 
+ScoringServiceOptions MakeServiceOptions(const TestbedProfile& profile) {
+  ScoringServiceOptions options;
+  options.enable_cache = profile.cache_scores;
+  options.cache.max_entries = profile.cache_max_entries;
+  options.cache.max_bytes = profile.cache_max_bytes;
+  return options;
+}
+
 std::unique_ptr<PointExplainer> MakeTestbedPointExplainer(
     PointExplainerKind kind, const TestbedProfile& profile) {
   switch (kind) {
@@ -167,8 +175,14 @@ std::vector<TestbedDataset> BuildRealSuite(const TestbedProfile& profile,
     for (int dim = gt_options.min_dim; dim <= gt_options.max_dim; ++dim) {
       entry.explanation_dims.push_back(dim);
     }
-    generated.ground_truth = BuildGroundTruthByExhaustiveSearch(
-        generated.dataset, lof, gt_options, pool);
+    // Route the sweep through a scoring service for the batched parallel
+    // fan-out; caching is off because an exhaustive sweep never repeats a
+    // subspace, so retaining its one-shot vectors would only burn memory.
+    ScoringServiceOptions service_options = MakeServiceOptions(profile);
+    service_options.enable_cache = false;
+    ScoringService service(lof, generated.dataset, service_options, pool);
+    generated.ground_truth =
+        BuildGroundTruthByExhaustiveSearch(service, gt_options);
     entry.data = std::move(generated);
     suite.push_back(std::move(entry));
   }

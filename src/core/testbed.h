@@ -11,6 +11,7 @@
 #include "detect/detector.h"
 #include "explain/point_explainer.h"
 #include "explain/summarizer.h"
+#include "serve/scoring_service.h"
 
 namespace subex {
 
@@ -55,6 +56,13 @@ struct TestbedProfile {
   int iforest_trees = 50;
   int iforest_repetitions = 2;
 
+  // Scoring-service knobs (`--threads` / `--no-cache` on the bench CLIs).
+  int num_threads = 1;         ///< ThreadPool size; 0 = hardware concurrency.
+  bool cache_scores = true;    ///< Route scoring through the ScoringService
+                               ///< cache (false = recompute every request).
+  std::size_t cache_max_entries = 1 << 16;       ///< Per-cache entry budget.
+  std::size_t cache_max_bytes = 256ull << 20;    ///< Per-cache byte budget.
+
   std::uint64_t seed = 7;
 
   /// The scaled-down single-core profile (default).
@@ -67,6 +75,9 @@ struct TestbedProfile {
 /// iForest(profile trees & repetitions, subsample 256).
 std::unique_ptr<Detector> MakeTestbedDetector(DetectorKind kind,
                                               const TestbedProfile& profile);
+
+/// Scoring-service options matching the profile's cache knobs.
+ScoringServiceOptions MakeServiceOptions(const TestbedProfile& profile);
 
 /// Builds a point explainer per the profile (Beam_FX / RefOut with Welch).
 std::unique_ptr<PointExplainer> MakeTestbedPointExplainer(

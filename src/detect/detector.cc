@@ -11,7 +11,9 @@ namespace subex {
 std::vector<double> ScoreStandardized(const Detector& detector,
                                       const Dataset& data,
                                       const Subspace& subspace) {
-  return Standardize(detector.Score(data, subspace));
+  std::vector<double> scores = detector.Score(data, subspace);
+  if (detector.ReturnsStandardizedScores()) return scores;
+  return Standardize(scores);
 }
 
 std::unique_ptr<Detector> MakeDetector(DetectorKind kind, std::uint64_t seed) {

@@ -30,6 +30,12 @@ class Detector {
   /// subspace `subspace`. An empty subspace means the full feature space.
   virtual std::vector<double> Score(const Dataset& data,
                                     const Subspace& subspace) const = 0;
+
+  /// True when `Score` already returns per-subspace standardized scores
+  /// (e.g. caching adapters that serve pre-standardized vectors).
+  /// `ScoreStandardized` then passes them through untouched instead of
+  /// standardizing twice, preserving bitwise equality with the direct path.
+  virtual bool ReturnsStandardizedScores() const { return false; }
 };
 
 /// `Score` followed by per-subspace z-score standardization

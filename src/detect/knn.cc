@@ -29,7 +29,12 @@ KnnTable ComputeKnn(const Dataset& data, const Subspace& subspace, int k) {
   table.neighbors.resize(n);
 
   const Matrix& m = data.matrix();
-  std::vector<Neighbor> all(n - 1);
+  // Per-thread scratch reused across calls: batch scoring evaluates
+  // thousands of subspaces per thread, and reallocating the n-entry
+  // candidate buffer on every call dominated allocator traffic.
+  static thread_local std::vector<Neighbor> scratch;
+  scratch.resize(static_cast<std::size_t>(n - 1));
+  std::vector<Neighbor>& all = scratch;
   for (int p = 0; p < n; ++p) {
     int w = 0;
     for (int q = 0; q < n; ++q) {

@@ -1,0 +1,121 @@
+#include "serve/score_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace subex {
+
+std::size_t ScoreKeyHash::operator()(const ScoreKey& key) const {
+  std::size_t h = std::hash<std::string>{}(key.detector);
+  // Boost-style combine with the subspace hash.
+  h ^= SubspaceHash{}(key.subspace) + 0x9e3779b97f4a7c15ull + (h << 6) +
+       (h >> 2);
+  return h;
+}
+
+std::size_t EstimateEntryBytes(const ScoreKey& key, const ScoreVectorPtr& v) {
+  // List node, index slot and control-block overhead, flat-rated.
+  std::size_t total = 96;
+  total += key.detector.size();
+  total += key.subspace.size() * sizeof(FeatureId);
+  if (v != nullptr) total += v->size() * sizeof(double) + sizeof(*v);
+  return total;
+}
+
+ScoreCache::ScoreCache(const ScoreCacheOptions& options, ServiceStats* stats)
+    : options_(options), stats_(stats) {
+  SUBEX_CHECK(options.num_shards >= 1);
+  shards_.reserve(options.num_shards);
+  for (std::size_t i = 0; i < options.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->max_entries =
+        std::max<std::size_t>(options.max_entries / options.num_shards,
+                              options.max_entries > 0 ? 1 : 0);
+    shard->max_bytes = options.max_bytes / options.num_shards;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ScoreCache::Shard& ScoreCache::ShardFor(const ScoreKey& key) {
+  // Mix the hash before reducing so shard choice is independent of the
+  // bits the per-shard unordered_map consumes.
+  std::size_t h = ScoreKeyHash{}(key);
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 32;
+  return *shards_[h % shards_.size()];
+}
+
+ScoreVectorPtr ScoreCache::Get(const ScoreKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ScoreCache::Put(const ScoreKey& key, ScoreVectorPtr value) {
+  const std::size_t entry_bytes = EstimateEntryBytes(key, value);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.max_entries == 0) return;
+  if (shard.max_bytes > 0 && entry_bytes > shard.max_bytes) return;
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = entry_bytes;
+    shard.bytes += entry_bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(value), entry_bytes});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += entry_bytes;
+  }
+  EvictWhileOverBudget(shard);
+}
+
+void ScoreCache::EvictWhileOverBudget(Shard& shard) {
+  while (shard.index.size() > shard.max_entries ||
+         (shard.max_bytes > 0 && shard.bytes > shard.max_bytes &&
+          shard.index.size() > 1)) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    if (stats_ != nullptr) stats_->RecordEviction();
+  }
+}
+
+std::size_t ScoreCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->index.size();
+  }
+  return total;
+}
+
+std::size_t ScoreCache::bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+void ScoreCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace subex

@@ -1,0 +1,118 @@
+#ifndef SUBEX_SERVE_SCORE_CACHE_H_
+#define SUBEX_SERVE_SCORE_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/service_stats.h"
+#include "subspace/subspace.h"
+
+namespace subex {
+
+/// Cache key: one detector's standardized score vector for one subspace of
+/// one dataset. The dataset is implicit (a cache belongs to a service, or
+/// the caller keys multiple datasets into separate caches); the detector
+/// name is explicit so one cache may be shared by several services.
+struct ScoreKey {
+  std::string detector;
+  Subspace subspace;
+
+  friend bool operator==(const ScoreKey& a, const ScoreKey& b) {
+    return a.detector == b.detector && a.subspace == b.subspace;
+  }
+};
+
+/// Hash functor combining the detector name and subspace hashes.
+struct ScoreKeyHash {
+  std::size_t operator()(const ScoreKey& key) const;
+};
+
+/// Immutable cached value. shared_ptr lets readers keep using a vector the
+/// cache has since evicted.
+using ScoreVectorPtr = std::shared_ptr<const std::vector<double>>;
+
+/// Sizing knobs of a `ScoreCache`. Both budgets are totals across all
+/// shards; either may be the binding constraint.
+struct ScoreCacheOptions {
+  /// Number of independently locked shards. More shards = less contention;
+  /// each gets `max_entries / num_shards` of the budgets (minimum 1 entry).
+  std::size_t num_shards = 8;
+  /// Maximum cached score vectors (0 forbids caching anything).
+  std::size_t max_entries = 1 << 16;
+  /// Approximate byte ceiling over keys + score vectors (0 = unbounded).
+  std::size_t max_bytes = 256ull << 20;
+};
+
+/// Sharded, mutex-per-shard, LRU-bounded map from `(detector, subspace)` to
+/// standardized score vectors.
+///
+/// Each shard guards an `unordered_map` plus an intrusive recency list with
+/// one mutex; a key's shard is fixed by its hash, so two requests contend
+/// only when they touch the same shard. Eviction is strict LRU per shard,
+/// triggered whenever an insert pushes the shard over its entry or byte
+/// budget. All methods are safe to call concurrently.
+class ScoreCache {
+ public:
+  explicit ScoreCache(const ScoreCacheOptions& options = {},
+                      ServiceStats* stats = nullptr);
+
+  ScoreCache(const ScoreCache&) = delete;
+  ScoreCache& operator=(const ScoreCache&) = delete;
+
+  /// Returns the cached vector and marks it most-recently-used, or null on
+  /// a miss. (Hit/miss accounting is the caller's job — a service probes
+  /// the cache at several points per request and counts each request once.)
+  ScoreVectorPtr Get(const ScoreKey& key);
+
+  /// Inserts (or overwrites) `value`, evicting least-recently-used entries
+  /// of the same shard while over budget. Values larger than the whole
+  /// shard budget are simply not retained.
+  void Put(const ScoreKey& key, ScoreVectorPtr value);
+
+  /// Current number of cached vectors (sums shard sizes; approximate under
+  /// concurrent mutation).
+  std::size_t size() const;
+  /// Current approximate byte footprint.
+  std::size_t bytes() const;
+  /// Drops every entry (stats counters are untouched).
+  void Clear();
+
+  const ScoreCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    ScoreKey key;
+    ScoreVectorPtr value;
+    std::size_t bytes = 0;
+  };
+  // Front of `lru` = most recently used.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;
+    std::unordered_map<ScoreKey, std::list<Entry>::iterator, ScoreKeyHash>
+        index;
+    std::size_t bytes = 0;
+    std::size_t max_entries = 0;
+    std::size_t max_bytes = 0;
+  };
+
+  Shard& ShardFor(const ScoreKey& key);
+  void EvictWhileOverBudget(Shard& shard);
+
+  ScoreCacheOptions options_;
+  ServiceStats* stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Approximate heap footprint of one cache entry (key + vector + node
+/// overhead), the unit of the byte budget.
+std::size_t EstimateEntryBytes(const ScoreKey& key, const ScoreVectorPtr& v);
+
+}  // namespace subex
+
+#endif  // SUBEX_SERVE_SCORE_CACHE_H_

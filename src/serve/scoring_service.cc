@@ -1,0 +1,156 @@
+#include "serve/scoring_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+
+namespace subex {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ElapsedNs(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+}  // namespace
+
+ScoringService::ScoringService(const Detector& detector, const Dataset& data,
+                               const ScoringServiceOptions& options,
+                               ThreadPool* pool)
+    : detector_(detector),
+      data_(data),
+      detector_name_(detector.name()),
+      stats_(std::make_shared<ServiceStats>()),
+      cache_(options.enable_cache
+                 ? std::make_shared<ScoreCache>(options.cache, stats_.get())
+                 : nullptr),
+      pool_(pool) {}
+
+ScoringService::ScoringService(const Detector& detector, const Dataset& data,
+                               std::shared_ptr<ScoreCache> cache,
+                               ThreadPool* pool)
+    : detector_(detector),
+      data_(data),
+      detector_name_(detector.name()),
+      stats_(std::make_shared<ServiceStats>()),
+      cache_(std::move(cache)),
+      pool_(pool) {}
+
+ScoreVectorPtr ScoringService::Score(const Subspace& subspace) {
+  ScoreKey key{detector_name_, subspace};
+  if (cache_ != nullptr) {
+    if (ScoreVectorPtr v = cache_->Get(key)) {
+      stats_->RecordHit();
+      return v;
+    }
+  }
+
+  std::promise<ScoreVectorPtr> promise;
+  std::shared_future<ScoreVectorPtr> future;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    // Re-probe under the lock: a leader may have published to the cache and
+    // left the in-flight table between our miss above and here.
+    if (cache_ != nullptr) {
+      if (ScoreVectorPtr v = cache_->Get(key)) {
+        stats_->RecordHit();
+        return v;
+      }
+    }
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      inflight_.emplace(key, future);
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    stats_->RecordDedupJoin();
+    return future.get();
+  }
+  return ComputeAndPublish(key, promise);
+}
+
+ScoreVectorPtr ScoringService::ComputeAndPublish(
+    const ScoreKey& key, std::promise<ScoreVectorPtr>& promise) {
+  const auto start = Clock::now();
+  ScoreVectorPtr value;
+  try {
+    value = std::make_shared<const std::vector<double>>(
+        ScoreStandardized(detector_, data_, key.subspace));
+  } catch (...) {
+    // Unblock joiners with the same failure, then surface it here.
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  stats_->RecordComputeNs(ElapsedNs(start));
+  stats_->RecordMiss();
+  // Publish to the cache *before* retiring the in-flight entry so a request
+  // arriving in between always finds one of the two — never a gap that
+  // would trigger a duplicate computation.
+  if (cache_ != nullptr) cache_->Put(key, value);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.erase(key);
+  }
+  promise.set_value(value);
+  return value;
+}
+
+std::vector<ScoreVectorPtr> ScoringService::ScoreMany(
+    std::span<const Subspace> subspaces) {
+  std::vector<ScoreVectorPtr> results(subspaces.size());
+  if (subspaces.empty()) return results;
+
+  // Group duplicate subspaces: each unique key is requested once and fanned
+  // back out, so batch-internal duplicates count as dedup joins.
+  std::unordered_map<Subspace, std::vector<std::size_t>, SubspaceHash> groups;
+  groups.reserve(subspaces.size());
+  for (std::size_t i = 0; i < subspaces.size(); ++i) {
+    auto& indices = groups[subspaces[i]];
+    if (!indices.empty()) stats_->RecordDedupJoin();
+    indices.push_back(i);
+  }
+  std::vector<const std::vector<std::size_t>*> fan_out;
+  std::vector<const Subspace*> unique;
+  unique.reserve(groups.size());
+  fan_out.reserve(groups.size());
+  for (const auto& [subspace, indices] : groups) {
+    unique.push_back(&subspace);
+    fan_out.push_back(&indices);
+  }
+
+  auto score_one = [&](std::size_t u) {
+    ScoreVectorPtr v = Score(*unique[u]);
+    for (std::size_t i : *fan_out[u]) results[i] = v;
+  };
+  if (pool_ != nullptr && pool_->num_threads() > 1 && unique.size() > 1) {
+    pool_->ParallelFor(unique.size(), score_one);
+  } else {
+    for (std::size_t u = 0; u < unique.size(); ++u) score_one(u);
+  }
+  return results;
+}
+
+std::vector<double> CachingDetector::Score(const Dataset& data,
+                                           const Subspace& subspace) const {
+  SUBEX_CHECK_MSG(
+      &data == &service_.data(),
+      "CachingDetector queried with a dataset other than its service's");
+  return *service_.Score(subspace);
+}
+
+}  // namespace subex

@@ -49,6 +49,9 @@
 #include "explain/summarizer.h"
 #include "explain/surrogate.h"
 #include "ml/regression_tree.h"
+#include "serve/score_cache.h"
+#include "serve/scoring_service.h"
+#include "serve/service_stats.h"
 #include "stats/descriptive.h"
 #include "stats/special_functions.h"
 #include "stats/two_sample_tests.h"

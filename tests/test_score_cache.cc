@@ -1,0 +1,172 @@
+#include "serve/score_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace subex {
+namespace {
+
+ScoreVectorPtr MakeValue(std::initializer_list<double> values) {
+  return std::make_shared<const std::vector<double>>(values);
+}
+
+ScoreKey Key(std::initializer_list<FeatureId> features,
+             const char* detector = "LOF") {
+  return ScoreKey{detector, Subspace(features)};
+}
+
+TEST(ScoreCacheTest, PutGetRoundTrip) {
+  ScoreCache cache;
+  const ScoreKey key = Key({0, 2});
+  EXPECT_EQ(cache.Get(key), nullptr);
+  cache.Put(key, MakeValue({1.0, 2.0, 3.0}));
+  const ScoreVectorPtr got = cache.Get(key);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ScoreCacheTest, DetectorNameIsPartOfTheKey) {
+  ScoreCache cache;
+  cache.Put(Key({0, 1}, "LOF"), MakeValue({1.0}));
+  cache.Put(Key({0, 1}, "iForest"), MakeValue({2.0}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Get(Key({0, 1}, "LOF"))->front(), 1.0);
+  EXPECT_EQ(cache.Get(Key({0, 1}, "iForest"))->front(), 2.0);
+}
+
+TEST(ScoreCacheTest, OverwriteReplacesValue) {
+  ScoreCache cache;
+  const ScoreKey key = Key({3});
+  cache.Put(key, MakeValue({1.0}));
+  cache.Put(key, MakeValue({9.0}));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get(key)->front(), 9.0);
+}
+
+TEST(ScoreCacheTest, EntryBudgetEvictsLeastRecentlyUsed) {
+  ScoreCacheOptions options;
+  options.num_shards = 1;  // Single shard so the LRU order is global.
+  options.max_entries = 2;
+  ServiceStats stats;
+  ScoreCache cache(options, &stats);
+  cache.Put(Key({0}), MakeValue({0.0}));
+  cache.Put(Key({1}), MakeValue({1.0}));
+  // Touch {0} so {1} becomes the LRU victim.
+  EXPECT_NE(cache.Get(Key({0})), nullptr);
+  cache.Put(Key({2}), MakeValue({2.0}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Get(Key({0})), nullptr);
+  EXPECT_EQ(cache.Get(Key({1})), nullptr);
+  EXPECT_NE(cache.Get(Key({2})), nullptr);
+  EXPECT_EQ(stats.snapshot().evictions, 1u);
+}
+
+TEST(ScoreCacheTest, ByteBudgetEvicts) {
+  ScoreCacheOptions options;
+  options.num_shards = 1;
+  options.max_entries = 1000;
+  // Room for roughly two entries of 10 doubles (96 bytes flat overhead +
+  // payload each).
+  options.max_bytes = 420;
+  ServiceStats stats;
+  ScoreCache cache(options, &stats);
+  auto big = [] {
+    return std::make_shared<const std::vector<double>>(10, 1.0);
+  };
+  cache.Put(Key({0}), big());
+  cache.Put(Key({1}), big());
+  cache.Put(Key({2}), big());
+  EXPECT_LT(cache.size(), 3u);
+  EXPECT_GT(stats.snapshot().evictions, 0u);
+  EXPECT_LE(cache.bytes(), 420u);
+}
+
+TEST(ScoreCacheTest, OversizedValueIsNotRetained) {
+  ScoreCacheOptions options;
+  options.num_shards = 1;
+  options.max_bytes = 64;  // Smaller than any entry's flat overhead.
+  ScoreCache cache(options);
+  cache.Put(Key({0}), MakeValue({1.0}));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ScoreCacheTest, ZeroEntryBudgetDisablesRetention) {
+  ScoreCacheOptions options;
+  options.max_entries = 0;
+  ScoreCache cache(options);
+  cache.Put(Key({0}), MakeValue({1.0}));
+  EXPECT_EQ(cache.Get(Key({0})), nullptr);
+}
+
+TEST(ScoreCacheTest, ClearDropsEverything) {
+  ScoreCache cache;
+  cache.Put(Key({0}), MakeValue({1.0}));
+  cache.Put(Key({1}), MakeValue({2.0}));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.Get(Key({0})), nullptr);
+}
+
+TEST(ScoreCacheTest, EvictedValueStaysAliveForHolders) {
+  ScoreCacheOptions options;
+  options.num_shards = 1;
+  options.max_entries = 1;
+  ScoreCache cache(options);
+  cache.Put(Key({0}), MakeValue({7.0}));
+  const ScoreVectorPtr held = cache.Get(Key({0}));
+  cache.Put(Key({1}), MakeValue({8.0}));  // Evicts {0}.
+  EXPECT_EQ(cache.Get(Key({0})), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->front(), 7.0);
+}
+
+TEST(ScoreCacheTest, ManyKeysAcrossShardsAllRetrievable) {
+  ScoreCacheOptions options;
+  options.num_shards = 8;
+  options.max_entries = 4096;
+  ScoreCache cache(options);
+  for (FeatureId f = 0; f < 200; ++f) {
+    cache.Put(Key({f, f + 1}), MakeValue({static_cast<double>(f)}));
+  }
+  EXPECT_EQ(cache.size(), 200u);
+  for (FeatureId f = 0; f < 200; ++f) {
+    const ScoreVectorPtr got = cache.Get(Key({f, f + 1}));
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->front(), static_cast<double>(f));
+  }
+}
+
+TEST(ScoreCacheTest, ConcurrentPutGetIsConsistent) {
+  ScoreCacheOptions options;
+  options.num_shards = 4;
+  options.max_entries = 64;  // Small enough to force concurrent eviction.
+  ScoreCache cache(options);
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 40;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int round = 0; round < 50; ++round) {
+        for (FeatureId f = 0; f < kKeys; ++f) {
+          const ScoreKey key = Key({f, f + t % 2});
+          const ScoreVectorPtr got = cache.Get(key);
+          if (got != nullptr) {
+            // A cached value must always be the one put for this key.
+            EXPECT_EQ(got->front(), static_cast<double>(f));
+          } else {
+            cache.Put(key, MakeValue({static_cast<double>(f)}));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace subex

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace subex {
@@ -55,6 +56,36 @@ TEST(ThreadPoolTest, ReducesCorrectSum) {
   long long expected = 0;
   for (long long i = 0; i < 256; ++i) expected += i * i;
   EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsBodyExceptionOnCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [](std::size_t i) {
+                         if (i == 42) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolStaysUsableAfterBodyException) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(64, [](std::size_t) { throw std::runtime_error("x"); });
+    FAIL() << "expected the body exception to propagate";
+  } catch (const std::runtime_error&) {
+  }
+  // The pool must still run work to completion afterwards.
+  std::vector<std::atomic<int>> hits(128);
+  pool.ParallelFor(128, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadParallelForPropagatesException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.ParallelFor(8, [](std::size_t) { throw std::logic_error("seq"); }),
+      std::logic_error);
 }
 
 TEST(ThreadPoolTest, NumThreadsReported) {
