@@ -20,6 +20,11 @@
 // `--threads N` to size the worker pool.
 //
 // Usage: bench_fig11_runtime [--full] [--seed N] [--threads N] [--no-cache]
+//                            [--stats] [--json out.json]
+//
+// --stats prints each dataset's per-detector cache counters as JSON (the
+// same shape the ExplainServer kStats endpoint returns); --json writes a
+// machine-readable timing report with one row per measured pipeline cell.
 
 #include "bench_util.h"
 
@@ -29,6 +34,14 @@ int main(int argc, char** argv) {
       argc, argv, "Figure 11: runtime of detection & explanation pipelines");
   // Runtime trends need fewer evaluation points than MAP does.
   if (profile.name == "quick") profile.max_points_per_cell = 3;
+  const bool print_stats_json = bench::HasFlag(argc, argv, "--stats");
+  const std::string json_path = bench::FlagValue(argc, argv, "--json");
+  bench::JsonTimingReport report;
+  report.SetMeta(JsonObject()
+                     .Add("bench", "fig11_runtime")
+                     .Add("profile", profile.name)
+                     .Add("seed", static_cast<std::uint64_t>(profile.seed))
+                     .Add("cache", profile.cache_scores));
 
   ThreadPool pool(static_cast<std::size_t>(profile.num_threads));
   std::vector<TestbedDataset> suite =
@@ -88,6 +101,15 @@ int main(int argc, char** argv) {
               services.For(detector_kind), gt, *explainer, dim,
               pipeline_options);
           row.push_back(FormatSeconds(r.seconds / r.num_points) + "/pt");
+          report.AddRow(
+              JsonObject()
+                  .Add("dataset", entry.data.name)
+                  .Add("explainer", PointExplainerKindName(explainer_kind))
+                  .Add("detector", DetectorKindName(detector_kind))
+                  .Add("dim", dim)
+                  .Add("points", r.num_points)
+                  .Add("seconds", r.seconds)
+                  .Add("seconds_per_point", r.seconds / r.num_points));
         }
         table.AddRow(std::move(row));
       }
@@ -113,15 +135,27 @@ int main(int argc, char** argv) {
           const PipelineResult r = RunSummarizationPipeline(
               services.For(detector_kind), gt, *summarizer, dim);
           row.push_back(FormatSeconds(r.seconds));
+          report.AddRow(
+              JsonObject()
+                  .Add("dataset", entry.data.name)
+                  .Add("explainer", SummarizerKindName(summarizer_kind))
+                  .Add("detector", DetectorKindName(detector_kind))
+                  .Add("dim", dim)
+                  .Add("seconds", r.seconds));
         }
         table.AddRow(std::move(row));
       }
     }
     std::printf("%s\n", table.Render().c_str());
     bench::PrintServiceStats(services);
+    if (print_stats_json) {
+      std::printf("stats json: %s\n",
+                  bench::ServiceStatsJson(services).c_str());
+    }
     std::printf("\n");
   }
 
+  if (!json_path.empty()) report.WriteTo(json_path);
   std::printf(
       "paper expectation: LOF fastest / FastABOD slowest per subspace;\n"
       "Beam grows steeply with explanation dim while RefOut stays flat;\n"

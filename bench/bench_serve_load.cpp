@@ -1,0 +1,244 @@
+// Loopback load generator for the src/net serving stack: starts an
+// ExplainServer in-process on an ephemeral port, hammers it from N client
+// threads with a mixed kScore/kExplain workload, and reports throughput,
+// latency percentiles (p50/p99), and the busy-rejection rate of the
+// admission-controlled queue.
+//
+// The interesting knob pair is --queue vs --clients: a queue smaller than
+// the offered concurrency forces the server to shed load with kBusy, which
+// the clients absorb via capped exponential backoff — the reported
+// busy-rejection rate and retry count quantify that backpressure loop.
+//
+// Usage: bench_serve_load [--clients N] [--requests N] [--queue N]
+//                         [--threads N] [--seed N] [--json out.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace subex;
+
+struct LoadConfig {
+  int clients = 4;
+  int requests_per_client = 200;
+  std::size_t queue_capacity = 256;
+  int pool_threads = 0;  // 0 = hardware concurrency.
+  std::uint64_t seed = 9001;
+  std::string json_path;
+};
+
+struct ClientResult {
+  std::vector<double> latencies_ms;  // Successful round trips only.
+  std::uint64_t ok = 0;
+  std::uint64_t busy_gave_up = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t busy_retries = 0;
+};
+
+int IntFlag(int argc, char** argv, const char* flag, int fallback) {
+  const std::string value = bench::FlagValue(argc, argv, flag);
+  return value.empty() ? fallback : static_cast<int>(std::strtol(
+                                        value.c_str(), nullptr, 10));
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// One client thread's life: connect, fire the mixed workload, record
+/// per-request latency. Every 10th request is a kExplain (Beam over LOF,
+/// the paper's workhorse pairing); the rest are kScore over random 2d
+/// subspaces, which exercises the service cache's single-flight path when
+/// clients collide on a subspace.
+ClientResult RunClient(const LoadConfig& config, std::uint16_t port,
+                       int client_index, int num_features) {
+  ClientResult result;
+  ExplainClient client;
+  std::string error;
+  if (!client.Connect("127.0.0.1", port, &error)) {
+    std::printf("client %d: connect failed: %s\n", client_index,
+                error.c_str());
+    result.errors = static_cast<std::uint64_t>(config.requests_per_client);
+    return result;
+  }
+  Rng rng(config.seed + static_cast<std::uint64_t>(client_index) * 7919);
+  result.latencies_ms.reserve(
+      static_cast<std::size_t>(config.requests_per_client));
+  for (int i = 0; i < config.requests_per_client; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    ClientStatus status;
+    if (i % 10 == 9) {
+      const ExplainClient::ExplainReply reply =
+          client.Explain("LOF", "Beam", rng.UniformInt(0, 20),
+                         /*target_dim=*/2, /*max_results=*/5);
+      status = reply.status;
+    } else {
+      const int a = rng.UniformInt(0, num_features - 1);
+      int b = rng.UniformInt(0, num_features - 2);
+      if (b >= a) ++b;
+      const ExplainClient::ScoreReply reply =
+          client.Score("LOF", Subspace({a, b}));
+      status = reply.status;
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    switch (status) {
+      case ClientStatus::kOk:
+        ++result.ok;
+        result.latencies_ms.push_back(ms);
+        break;
+      case ClientStatus::kBusy:
+        ++result.busy_gave_up;
+        break;
+      default:
+        ++result.errors;
+        break;
+    }
+  }
+  result.busy_retries = client.busy_replies_seen();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadConfig config;
+  config.clients = IntFlag(argc, argv, "--clients", config.clients);
+  config.requests_per_client =
+      IntFlag(argc, argv, "--requests", config.requests_per_client);
+  config.queue_capacity = static_cast<std::size_t>(
+      IntFlag(argc, argv, "--queue",
+              static_cast<int>(config.queue_capacity)));
+  config.pool_threads = IntFlag(argc, argv, "--threads", config.pool_threads);
+  config.seed = static_cast<std::uint64_t>(
+      IntFlag(argc, argv, "--seed", static_cast<int>(config.seed)));
+  config.json_path = bench::FlagValue(argc, argv, "--json");
+
+  std::printf("== serve load: ExplainServer loopback throughput ==\n");
+  std::printf(
+      "clients %d x %d requests, queue capacity %zu, pool threads %d%s\n\n",
+      config.clients, config.requests_per_client, config.queue_capacity,
+      config.pool_threads, config.pool_threads == 0 ? " (auto)" : "");
+
+  // A 7-feature HiCS-style dataset: small enough that LOF scoring is
+  // microseconds (the bench measures the serving stack, not the detector),
+  // large enough that Beam explanations do real work.
+  HicsGeneratorConfig data_config;
+  data_config.num_points = 150;
+  data_config.subspace_dims = {2, 2, 3};
+  data_config.seed = config.seed;
+  const SyntheticDataset data = GenerateHicsDataset(data_config);
+  const int num_features = static_cast<int>(data.dataset.num_features());
+
+  ThreadPool pool(static_cast<std::size_t>(config.pool_threads));
+  Lof lof(15);
+  ScoringService service(lof, data.dataset, ScoringServiceOptions{}, &pool);
+  Beam beam;
+
+  ExplainServerOptions server_options;
+  server_options.queue_capacity = config.queue_capacity;
+  ExplainServer server(server_options, &pool);
+  server.RegisterService(service);
+  server.RegisterExplainer("Beam", beam);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::printf("server start failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<ClientResult> results(
+      static_cast<std::size_t>(config.clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.clients));
+  for (int c = 0; c < config.clients; ++c) {
+    threads.emplace_back([&, c] {
+      results[static_cast<std::size_t>(c)] =
+          RunClient(config, server.port(), c, num_features);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  const ServerStatsSnapshot stats = server.stats();
+  server.Stop();
+
+  std::vector<double> latencies;
+  std::uint64_t ok = 0, busy_gave_up = 0, errors = 0, busy_retries = 0;
+  for (const ClientResult& r : results) {
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+    ok += r.ok;
+    busy_gave_up += r.busy_gave_up;
+    errors += r.errors;
+    busy_retries += r.busy_retries;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(latencies, 0.50);
+  const double p99 = Percentile(latencies, 0.99);
+  const double throughput =
+      wall_seconds > 0.0 ? static_cast<double>(ok) / wall_seconds : 0.0;
+  const std::uint64_t offered = stats.requests_admitted +
+                                stats.busy_rejections;
+  const double busy_rate =
+      offered > 0 ? static_cast<double>(stats.busy_rejections) /
+                        static_cast<double>(offered)
+                  : 0.0;
+
+  TextTable table;
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"requests ok", std::to_string(ok)});
+  table.AddRow({"throughput", FormatDouble(throughput) + " req/s"});
+  table.AddRow({"latency p50", FormatDouble(p50) + " ms"});
+  table.AddRow({"latency p99", FormatDouble(p99) + " ms"});
+  table.AddRow({"busy rejections (server)",
+                std::to_string(stats.busy_rejections)});
+  table.AddRow({"busy-rejection rate", FormatDouble(busy_rate)});
+  table.AddRow({"busy retries absorbed", std::to_string(busy_retries)});
+  table.AddRow({"gave up busy", std::to_string(busy_gave_up)});
+  table.AddRow({"transport/server errors", std::to_string(errors)});
+  table.AddRow({"wall time", FormatSeconds(wall_seconds)});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("server stats: %s\n", stats.ToJson().c_str());
+  std::printf("service stats: %s\n", service.stats().ToJson().c_str());
+
+  if (!config.json_path.empty()) {
+    bench::JsonTimingReport report;
+    report.SetMeta(JsonObject()
+                       .Add("bench", "serve_load")
+                       .Add("clients", config.clients)
+                       .Add("requests_per_client", config.requests_per_client)
+                       .Add("queue_capacity",
+                            static_cast<std::uint64_t>(config.queue_capacity))
+                       .Add("pool_threads", config.pool_threads)
+                       .Add("seed", static_cast<std::uint64_t>(config.seed)));
+    report.AddRow(JsonObject()
+                      .Add("requests_ok", ok)
+                      .Add("throughput_rps", throughput)
+                      .Add("latency_p50_ms", p50)
+                      .Add("latency_p99_ms", p99)
+                      .Add("busy_rejections", stats.busy_rejections)
+                      .Add("busy_rejection_rate", busy_rate)
+                      .Add("busy_retries_absorbed", busy_retries)
+                      .Add("gave_up_busy", busy_gave_up)
+                      .Add("errors", errors)
+                      .Add("wall_seconds", wall_seconds)
+                      .AddRaw("server", stats.ToJson())
+                      .AddRaw("service", service.stats().ToJson()));
+    report.WriteTo(config.json_path);
+  }
+  return errors == 0 ? 0 : 1;
+}

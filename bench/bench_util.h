@@ -17,6 +17,64 @@
 
 namespace subex::bench {
 
+/// True when `flag` (e.g. "--stats") appears anywhere in argv.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// The argument following `flag` ("--json out.json" -> "out.json"), or
+/// `fallback` when the flag is absent or the last token.
+inline std::string FlagValue(int argc, char** argv, const char* flag,
+                             const std::string& fallback = "") {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// Machine-readable companion to the human tables: benches append one
+/// JsonObject per measured cell plus run-level metadata, and `WriteTo`
+/// emits `{"meta":{...},"rows":[{...},...]}` for downstream tooling
+/// (regression tracking, plotting) without a JSON dependency.
+class JsonTimingReport {
+ public:
+  void SetMeta(JsonObject meta) { meta_ = std::move(meta); }
+  void AddRow(const JsonObject& row) { rows_.push_back(row.Build()); }
+
+  std::string Build() const {
+    std::string out = "{\"meta\":" + meta_.Build() + ",\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += rows_[i];
+    }
+    out += "]}";
+    return out;
+  }
+
+  /// Writes the report to `path`; returns false (and prints) on failure.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot write json report to %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = Build();
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    if (ok) std::printf("json report written to %s\n", path.c_str());
+    return ok;
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  JsonObject meta_;
+  std::vector<std::string> rows_;
+};
+
 /// Parses `--full` (paper profile) / `--seed N` / `--threads N` (ThreadPool
 /// size, 0 = hardware concurrency) / `--no-cache` (bypass the scoring
 /// service cache) from argv; everything else is ignored. Prints the chosen
@@ -180,6 +238,18 @@ inline void PrintServiceStats(DetectorServices& bundle) {
     std::printf("%-8s cache: %s\n", DetectorKindName(bundle.kinds[i]),
                 bundle.services[i]->stats().ToString().c_str());
   }
+}
+
+/// One JSON object keyed by detector name, each value the service's
+/// ServiceStatsSnapshot::ToJson() — the same shape the kStats endpoint of
+/// ExplainServer nests under "services".
+inline std::string ServiceStatsJson(DetectorServices& bundle) {
+  JsonObject obj;
+  for (std::size_t i = 0; i < bundle.kinds.size(); ++i) {
+    obj.AddRaw(DetectorKindName(bundle.kinds[i]),
+               bundle.services[i]->stats().ToJson());
+  }
+  return obj.Build();
 }
 
 /// "MAP 0.83" or "skip" formatting for figure tables.

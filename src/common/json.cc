@@ -1,0 +1,83 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace subex {
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+JsonObject& JsonObject::Add(std::string_view key, std::string_view value) {
+  Key(key);
+  AppendJsonString(body_, value);
+  return *this;
+}
+
+JsonObject& JsonObject::Add(std::string_view key, double number) {
+  Key(key);
+  body_ += JsonNumber(number);
+  return *this;
+}
+
+JsonObject& JsonObject::Add(std::string_view key, std::uint64_t number) {
+  Key(key);
+  body_ += std::to_string(number);
+  return *this;
+}
+
+JsonObject& JsonObject::Add(std::string_view key, bool boolean) {
+  Key(key);
+  body_ += boolean ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::AddRaw(std::string_view key, std::string_view raw) {
+  Key(key);
+  body_.append(raw);
+  return *this;
+}
+
+void JsonObject::Key(std::string_view key) {
+  if (body_.size() > 1) body_ += ',';
+  AppendJsonString(body_, key);
+  body_ += ':';
+}
+
+}  // namespace subex

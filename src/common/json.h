@@ -1,0 +1,47 @@
+#ifndef SUBEX_COMMON_JSON_H_
+#define SUBEX_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace subex {
+
+/// Appends `s` to `out` as a quoted JSON string literal, escaping quotes,
+/// backslashes and control characters.
+void AppendJsonString(std::string& out, std::string_view s);
+
+/// Renders a double as a JSON number token ("0.9512", "1e+20"). Non-finite
+/// values, which JSON cannot represent, become `null`.
+std::string JsonNumber(double value);
+
+/// Minimal append-only JSON object builder for the stats endpoints and the
+/// benchmark `--json` reports — keys in insertion order, no nesting state
+/// machine (nest by passing a built object to `AddRaw`).
+class JsonObject {
+ public:
+  JsonObject& Add(std::string_view key, std::string_view string_value);
+  JsonObject& Add(std::string_view key, const char* string_value) {
+    return Add(key, std::string_view(string_value));
+  }
+  JsonObject& Add(std::string_view key, double number);
+  JsonObject& Add(std::string_view key, std::uint64_t number);
+  JsonObject& Add(std::string_view key, int number) {
+    return Add(key, static_cast<std::uint64_t>(number));
+  }
+  JsonObject& Add(std::string_view key, bool boolean);
+  /// Inserts `raw_json` verbatim as the value (must itself be valid JSON,
+  /// e.g. a nested object from another builder).
+  JsonObject& AddRaw(std::string_view key, std::string_view raw_json);
+
+  /// The complete object, e.g. `{"hits":12,"rate":0.5}`.
+  std::string Build() const { return body_ + "}"; }
+
+ private:
+  void Key(std::string_view key);
+  std::string body_ = "{";
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_COMMON_JSON_H_

@@ -1,0 +1,206 @@
+#include "net/explain_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace subex {
+
+ExplainClient::ExplainClient(const ExplainClientOptions& options)
+    : options_(options), decoder_(options.max_frame_bytes) {}
+
+bool ExplainClient::Connect(const std::string& host, std::uint16_t port,
+                            std::string* error) {
+  Disconnect();
+  socket_ = ConnectTcp(host, port, options_.connect_timeout_ms, error);
+  return socket_.valid();
+}
+
+void ExplainClient::Disconnect() {
+  socket_.Close();
+  decoder_ = FrameDecoder(options_.max_frame_bytes);
+}
+
+bool ExplainClient::SendAndReceive(const std::vector<std::uint8_t>& request,
+                                   std::uint64_t request_id,
+                                   MessageHeader* header,
+                                   std::vector<std::uint8_t>* body,
+                                   std::string* error) {
+  if (!socket_.valid()) {
+    *error = "not connected";
+    return false;
+  }
+  const std::vector<std::uint8_t> frame = EncodeFrame(request);
+  if (!SendAll(socket_.fd(), frame.data(), frame.size(),
+               options_.request_timeout_ms, error)) {
+    Disconnect();
+    return false;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.request_timeout_ms);
+  std::uint8_t buf[16384];
+  std::vector<std::uint8_t> payload;
+  while (true) {
+    while (decoder_.Next(&payload)) {
+      WireReader reader(payload);
+      if (!DecodeHeader(reader, header) ||
+          header->version != kProtocolVersion) {
+        *error = "malformed response header";
+        Disconnect();
+        return false;
+      }
+      // A response to a stale request id (e.g. an aborted earlier round
+      // trip) is discarded; the protocol echoes ids for exactly this.
+      if (header->request_id != request_id) continue;
+      body->assign(payload.begin() +
+                       static_cast<std::ptrdiff_t>(kMessageHeaderBytes),
+                   payload.end());
+      return true;
+    }
+    if (decoder_.error()) {
+      *error = "response frame exceeds maximum size";
+      Disconnect();
+      return false;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      *error = "request timed out";
+      Disconnect();
+      return false;
+    }
+    std::size_t received = 0;
+    if (!RecvSome(socket_.fd(), buf, sizeof(buf),
+                  static_cast<int>(left.count()), &received, error)) {
+      Disconnect();
+      return false;
+    }
+    if (received == 0) {
+      *error = "server closed the connection";
+      Disconnect();
+      return false;
+    }
+    decoder_.Feed(buf, received);
+  }
+}
+
+ClientStatus ExplainClient::RoundTrip(const std::vector<std::uint8_t>& request,
+                                      std::uint64_t request_id,
+                                      MessageType* type,
+                                      std::vector<std::uint8_t>* body,
+                                      std::string* error) {
+  int backoff_ms = options_.busy_backoff_initial_ms;
+  for (int attempt = 0; attempt <= options_.max_busy_retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.busy_backoff_max_ms);
+    }
+    MessageHeader header;
+    if (!SendAndReceive(request, request_id, &header, body, error)) {
+      return ClientStatus::kTransportError;
+    }
+    if (header.type == MessageType::kBusy) {
+      ++busy_replies_seen_;
+      continue;  // Backpressure: back off and retry.
+    }
+    *type = header.type;
+    return ClientStatus::kOk;  // Some definitive response arrived.
+  }
+  *error = "server busy after " + std::to_string(options_.max_busy_retries) +
+           " retries";
+  return ClientStatus::kBusy;
+}
+
+ExplainClient::ScoreReply ExplainClient::Score(const std::string& detector,
+                                               const Subspace& subspace) {
+  ScoreReply reply;
+  ScoreRequest request;
+  request.detector = detector;
+  request.subspace = subspace;
+  const std::uint64_t id = next_request_id_++;
+  MessageType type = MessageType::kError;
+  std::vector<std::uint8_t> body;
+  reply.status =
+      RoundTrip(EncodeScoreRequest(id, request), id, &type, &body, &reply.error);
+  if (reply.status != ClientStatus::kOk) return reply;
+  WireReader reader(body);
+  if (type == MessageType::kError) {
+    TextResult text;
+    reply.status = ClientStatus::kServerError;
+    reply.error = DecodeTextResult(reader, &text) ? text.text
+                                                  : "undecodable kError body";
+    return reply;
+  }
+  ScoreResult result;
+  if (type != MessageType::kScoreResult ||
+      !DecodeScoreResult(reader, &result)) {
+    reply.status = ClientStatus::kTransportError;
+    reply.error = "unexpected response to kScore";
+    return reply;
+  }
+  reply.scores = std::move(result.scores);
+  return reply;
+}
+
+ExplainClient::ExplainReply ExplainClient::Explain(const std::string& detector,
+                                                   const std::string& explainer,
+                                                   int point, int target_dim,
+                                                   std::uint32_t max_results) {
+  ExplainReply reply;
+  ExplainRequest request;
+  request.detector = detector;
+  request.explainer = explainer;
+  request.point = point;
+  request.target_dim = target_dim;
+  request.max_results = max_results;
+  const std::uint64_t id = next_request_id_++;
+  MessageType type = MessageType::kError;
+  std::vector<std::uint8_t> body;
+  reply.status = RoundTrip(EncodeExplainRequest(id, request), id, &type, &body,
+                           &reply.error);
+  if (reply.status != ClientStatus::kOk) return reply;
+  WireReader reader(body);
+  if (type == MessageType::kError) {
+    TextResult text;
+    reply.status = ClientStatus::kServerError;
+    reply.error = DecodeTextResult(reader, &text) ? text.text
+                                                  : "undecodable kError body";
+    return reply;
+  }
+  ExplainResult result;
+  if (type != MessageType::kExplainResult ||
+      !DecodeExplainResult(reader, &result)) {
+    reply.status = ClientStatus::kTransportError;
+    reply.error = "unexpected response to kExplain";
+    return reply;
+  }
+  reply.ranking = std::move(result.ranking);
+  return reply;
+}
+
+ExplainClient::StatsReply ExplainClient::Stats() {
+  StatsReply reply;
+  const std::uint64_t id = next_request_id_++;
+  MessageType type = MessageType::kError;
+  std::vector<std::uint8_t> body;
+  reply.status =
+      RoundTrip(EncodeStatsRequest(id), id, &type, &body, &reply.error);
+  if (reply.status != ClientStatus::kOk) return reply;
+  WireReader reader(body);
+  TextResult text;
+  if (!DecodeTextResult(reader, &text)) {
+    reply.status = ClientStatus::kTransportError;
+    reply.error = "undecodable stats body";
+    return reply;
+  }
+  if (type == MessageType::kError) {
+    reply.status = ClientStatus::kServerError;
+    reply.error = text.text;
+    return reply;
+  }
+  reply.json = std::move(text.text);
+  return reply;
+}
+
+}  // namespace subex

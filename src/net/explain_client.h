@@ -1,0 +1,107 @@
+#ifndef SUBEX_NET_EXPLAIN_CLIENT_H_
+#define SUBEX_NET_EXPLAIN_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explain/explanation.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "subspace/subspace.h"
+
+namespace subex {
+
+/// How a client call ended.
+enum class ClientStatus {
+  kOk,              ///< Result decoded successfully.
+  kBusy,            ///< Server shed the request even after every retry.
+  kServerError,     ///< Server replied `kError`; see `error`.
+  kTransportError,  ///< Socket/framing failure; the connection is dead.
+};
+
+/// Knobs of an `ExplainClient`.
+struct ExplainClientOptions {
+  int connect_timeout_ms = 5000;
+  /// Deadline of one request/response round trip (excluding busy backoff).
+  int request_timeout_ms = 30000;
+  /// How many times a `kBusy` reply is retried before giving up.
+  int max_busy_retries = 8;
+  /// Backoff before the first retry; doubles per retry up to the cap.
+  int busy_backoff_initial_ms = 1;
+  int busy_backoff_max_ms = 200;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// Blocking client of an `ExplainServer`: connect once, then issue
+/// synchronous `Score`/`Explain`/`Stats` round trips. A `kBusy` reply (the
+/// server's backpressure signal) is retried transparently with capped
+/// exponential backoff; every other failure is surfaced in the reply's
+/// status. Not thread-safe — use one client per thread (the load
+/// generator's model) or add external locking.
+class ExplainClient {
+ public:
+  explicit ExplainClient(const ExplainClientOptions& options = {});
+
+  /// Connects to `host:port`. False + `*error` on refusal/timeout.
+  bool Connect(const std::string& host, std::uint16_t port,
+               std::string* error = nullptr);
+  void Disconnect();
+  bool connected() const { return socket_.valid(); }
+
+  struct ScoreReply {
+    ClientStatus status = ClientStatus::kTransportError;
+    std::string error;
+    std::vector<double> scores;
+    bool ok() const { return status == ClientStatus::kOk; }
+  };
+  struct ExplainReply {
+    ClientStatus status = ClientStatus::kTransportError;
+    std::string error;
+    RankedSubspaces ranking;
+    bool ok() const { return status == ClientStatus::kOk; }
+  };
+  struct StatsReply {
+    ClientStatus status = ClientStatus::kTransportError;
+    std::string error;
+    std::string json;
+    bool ok() const { return status == ClientStatus::kOk; }
+  };
+
+  /// `kScore`: standardized score vector of `subspace` under `detector`.
+  ScoreReply Score(const std::string& detector, const Subspace& subspace);
+  /// `kExplain`: ranked explaining subspaces of one point.
+  ExplainReply Explain(const std::string& detector,
+                       const std::string& explainer, int point, int target_dim,
+                       std::uint32_t max_results = 0);
+  /// `kStats`: server + service counters as a JSON document.
+  StatsReply Stats();
+
+  /// Total `kBusy` replies absorbed by the retry loop (load-test metric).
+  std::uint64_t busy_replies_seen() const { return busy_replies_seen_; }
+
+  const ExplainClientOptions& options() const { return options_; }
+
+ private:
+  /// Sends `request` and blocks for the response with the echoed id,
+  /// absorbing busy retries. Returns the response header type via `*type`
+  /// and leaves the body in `*body`; kTransportError on socket failure.
+  ClientStatus RoundTrip(const std::vector<std::uint8_t>& request,
+                         std::uint64_t request_id, MessageType* type,
+                         std::vector<std::uint8_t>* body, std::string* error);
+  /// One send + matching receive without retry.
+  bool SendAndReceive(const std::vector<std::uint8_t>& request,
+                      std::uint64_t request_id, MessageHeader* header,
+                      std::vector<std::uint8_t>* body, std::string* error);
+
+  ExplainClientOptions options_;
+  Socket socket_;
+  FrameDecoder decoder_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t busy_replies_seen_ = 0;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_NET_EXPLAIN_CLIENT_H_

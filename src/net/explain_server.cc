@@ -1,0 +1,485 @@
+#include "net/explain_server.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace subex {
+
+using Clock = std::chrono::steady_clock;
+
+std::string ServerStatsSnapshot::ToJson() const {
+  return JsonObject()
+      .Add("connections_accepted", connections_accepted)
+      .Add("connections_closed", connections_closed)
+      .Add("requests_admitted", requests_admitted)
+      .Add("responses_sent", responses_sent)
+      .Add("busy_rejections", busy_rejections)
+      .Add("protocol_errors", protocol_errors)
+      .Add("timeouts", timeouts)
+      .Build();
+}
+
+/// Per-connection state. The socket, decoder and activity clock belong to
+/// the event-loop thread; the write queue is the hand-off point between
+/// pool handlers (producers) and the loop (consumer), guarded by `mutex`.
+struct ExplainServer::Connection {
+  Connection(Socket s, std::size_t max_frame_bytes)
+      : socket(std::move(s)),
+        decoder(max_frame_bytes),
+        last_progress(Clock::now()) {}
+
+  Socket socket;
+  FrameDecoder decoder;
+  Clock::time_point last_progress;
+  /// Admitted requests of this connection still computing.
+  std::atomic<int> in_flight{0};
+
+  std::mutex mutex;
+  std::deque<std::vector<std::uint8_t>> write_queue;
+  std::size_t write_offset = 0;  // Sent bytes of the front frame.
+  bool close_after_flush = false;
+  bool closed = false;
+};
+
+ExplainServer::ExplainServer(const ExplainServerOptions& options,
+                             ThreadPool* pool)
+    : options_(options), pool_(pool) {}
+
+ExplainServer::~ExplainServer() { Stop(); }
+
+void ExplainServer::RegisterService(ScoringService& service) {
+  services_[service.detector_name()] = &service;
+}
+
+void ExplainServer::RegisterExplainer(const std::string& name,
+                                      const PointExplainer& explainer) {
+  explainers_[name] = &explainer;
+}
+
+bool ExplainServer::Start(std::string* error) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (loop_thread_.joinable()) {
+    if (error != nullptr) *error = "server already running";
+    return false;
+  }
+  if (options_.queue_capacity == 0) {
+    if (error != nullptr) *error = "queue_capacity must be >= 1";
+    return false;
+  }
+  listener_ = ListenTcp(options_.host, options_.port, options_.listen_backlog,
+                        &port_, error);
+  if (!listener_.valid()) return false;
+  if (!MakeWakePipe(&wake_read_, &wake_write_, error)) return false;
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread(&ExplainServer::Loop, this);
+  return true;
+}
+
+void ExplainServer::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (!loop_thread_.joinable()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  Wake();
+  loop_thread_.join();
+  running_.store(false, std::memory_order_release);
+  // The drain deadline bounds how long the loop waits for handlers, not
+  // handler lifetime: wait out any stragglers before closing the wake pipe
+  // they may still write to.
+  while (in_flight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  wake_read_.Close();
+  wake_write_.Close();
+}
+
+ServerStatsSnapshot ExplainServer::stats() const {
+  ServerStatsSnapshot snap;
+  snap.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  snap.connections_closed = connections_closed_.load(std::memory_order_relaxed);
+  snap.requests_admitted = requests_admitted_.load(std::memory_order_relaxed);
+  snap.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  snap.busy_rejections = busy_rejections_.load(std::memory_order_relaxed);
+  snap.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  snap.timeouts = timeouts_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void ExplainServer::Wake() {
+  const std::uint8_t byte = 1;
+  // EAGAIN means the pipe already holds unread wake bytes — good enough.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_.fd(), &byte, 1);
+}
+
+void ExplainServer::Loop() {
+  std::vector<pollfd> pfds;
+  std::vector<std::shared_ptr<Connection>> polled;
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  while (true) {
+    if (!draining && stop_requested_.load(std::memory_order_acquire)) {
+      draining = true;
+      drain_deadline =
+          Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+      listener_.Close();  // No new connections; stop reading below.
+    }
+
+    pfds.clear();
+    polled.clear();
+    pfds.push_back(pollfd{wake_read_.fd(), POLLIN, 0});
+    if (listener_.valid()) {
+      pfds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    }
+    for (auto& [fd, conn] : connections_) {
+      short events = 0;
+      if (!draining) events |= POLLIN;
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        if (!conn->write_queue.empty()) events |= POLLOUT;
+      }
+      pfds.push_back(pollfd{fd, events, 0});
+      polled.push_back(conn);
+    }
+
+    int timeout_ms = -1;
+    if (draining) {
+      timeout_ms = 10;
+    } else if (!connections_.empty() && options_.idle_timeout_ms > 0) {
+      timeout_ms = std::min(options_.idle_timeout_ms, 250);
+    }
+    const int ready = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                             timeout_ms);
+    if (ready < 0 && errno != EINTR && errno != EAGAIN) break;
+
+    if (pfds[0].revents & POLLIN) {
+      std::uint8_t buf[256];
+      while (::read(wake_read_.fd(), buf, sizeof(buf)) > 0) {
+      }
+    }
+    std::size_t index = 1;
+    if (listener_.valid()) {
+      if (pfds[index].revents & POLLIN) AcceptNewConnections();
+      ++index;
+    }
+
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      const std::shared_ptr<Connection>& conn = polled[i];
+      const short revents = pfds[index + i].revents;
+      bool alive = true;
+      if (revents & POLLOUT) alive = HandleWritable(conn);
+      if (alive && (revents & POLLIN)) alive = HandleReadable(conn);
+      if (alive && (revents & (POLLERR | POLLNVAL))) alive = false;
+      if (alive && (revents & POLLHUP) && !(revents & POLLIN)) alive = false;
+      if (alive) {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        if (conn->close_after_flush && conn->write_queue.empty() &&
+            conn->in_flight.load(std::memory_order_acquire) == 0) {
+          alive = false;
+        }
+      }
+      if (!alive) CloseConnection(conn);
+    }
+
+    if (!draining && options_.idle_timeout_ms > 0) {
+      const Clock::time_point now = Clock::now();
+      const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+      // Snapshot first: CloseConnection mutates the map.
+      std::vector<std::shared_ptr<Connection>> idle;
+      for (auto& [fd, conn] : connections_) {
+        if (conn->in_flight.load(std::memory_order_acquire) == 0 &&
+            now - conn->last_progress > limit) {
+          idle.push_back(conn);
+        }
+      }
+      for (const std::shared_ptr<Connection>& conn : idle) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        CloseConnection(conn);
+      }
+    }
+
+    if (draining) {
+      bool flushed = in_flight_.load(std::memory_order_acquire) == 0;
+      if (flushed) {
+        for (auto& [fd, conn] : connections_) {
+          std::lock_guard<std::mutex> lock(conn->mutex);
+          if (!conn->write_queue.empty()) {
+            flushed = false;
+            break;
+          }
+        }
+      }
+      if (flushed || Clock::now() > drain_deadline) break;
+    }
+  }
+
+  std::vector<std::shared_ptr<Connection>> remaining;
+  remaining.reserve(connections_.size());
+  for (auto& [fd, conn] : connections_) remaining.push_back(conn);
+  for (const std::shared_ptr<Connection>& conn : remaining) {
+    CloseConnection(conn);
+  }
+}
+
+void ExplainServer::AcceptNewConnections() {
+  while (true) {
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN/EWOULDBLOCK: accepted everything pending.
+    }
+    Socket socket(fd);
+    if (!SetNonBlocking(fd, true)) continue;  // Drops the connection.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_.emplace(fd, std::make_shared<Connection>(
+                                 std::move(socket), options_.max_frame_bytes));
+  }
+}
+
+bool ExplainServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  std::uint8_t buf[16384];
+  while (true) {
+    const ssize_t n = ::recv(conn->socket.fd(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->last_progress = Clock::now();
+      conn->decoder.Feed(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+    } else if (n == 0) {
+      return false;  // Orderly EOF from the peer.
+    } else {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+  }
+  std::vector<std::uint8_t> payload;
+  while (conn->decoder.Next(&payload)) {
+    DispatchFrame(conn, std::move(payload));
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->close_after_flush) return true;  // Stop parsing a bad stream.
+  }
+  if (conn->decoder.error()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    EnqueueResponse(conn, EncodeError(0, "frame exceeds maximum size"));
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->close_after_flush = true;
+  }
+  return true;
+}
+
+bool ExplainServer::HandleWritable(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conn->mutex);
+  while (!conn->write_queue.empty()) {
+    const std::vector<std::uint8_t>& front = conn->write_queue.front();
+    const ssize_t n =
+        ::send(conn->socket.fd(), front.data() + conn->write_offset,
+               front.size() - conn->write_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    conn->last_progress = Clock::now();
+    conn->write_offset += static_cast<std::size_t>(n);
+    if (conn->write_offset == front.size()) {
+      conn->write_queue.pop_front();
+      conn->write_offset = 0;
+      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return true;
+}
+
+void ExplainServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                                  std::vector<std::uint8_t> payload) {
+  WireReader reader(payload);
+  MessageHeader header;
+  if (!DecodeHeader(reader, &header) ||
+      header.version != kProtocolVersion || !IsRequestType(header.type)) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    EnqueueResponse(conn,
+                    EncodeError(header.request_id, "malformed request header"));
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->close_after_flush = true;
+    return;
+  }
+
+  // Admission control: the bounded queue is a counter, not a buffer — at
+  // capacity the reply is an immediate kBusy and nothing is retained.
+  std::size_t current = in_flight_.load(std::memory_order_relaxed);
+  do {
+    if (current >= options_.queue_capacity) {
+      busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+      EnqueueResponse(conn, EncodeBusy(header.request_id));
+      return;
+    }
+  } while (!in_flight_.compare_exchange_weak(current, current + 1,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed));
+  requests_admitted_.fetch_add(1, std::memory_order_relaxed);
+  conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
+
+  if (pool_ != nullptr) {
+    pool_->Submit([this, conn, header, body = std::move(payload)]() mutable {
+      HandleRequest(conn, header, std::move(body));
+    });
+  } else {
+    HandleRequest(conn, header, std::move(payload));
+  }
+}
+
+void ExplainServer::HandleRequest(const std::shared_ptr<Connection>& conn,
+                                  MessageHeader header,
+                                  std::vector<std::uint8_t> payload) {
+  WireReader reader(payload.data() + kMessageHeaderBytes,
+                    payload.size() - kMessageHeaderBytes);
+  std::vector<std::uint8_t> response;
+  try {
+    response = ComputeResponse(header, reader);
+  } catch (const std::exception& e) {
+    response = EncodeError(header.request_id,
+                           std::string("handler exception: ") + e.what());
+  }
+  EnqueueResponse(conn, std::move(response));
+  conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  in_flight_.fetch_sub(1, std::memory_order_release);
+  Wake();
+}
+
+std::vector<std::uint8_t> ExplainServer::ComputeResponse(
+    const MessageHeader& header, WireReader& reader) {
+  switch (header.type) {
+    case MessageType::kScore:
+      return HandleScore(header.request_id, reader);
+    case MessageType::kExplain:
+      return HandleExplain(header.request_id, reader);
+    case MessageType::kStats:
+      return HandleStats(header.request_id);
+    default:
+      return EncodeError(header.request_id, "unsupported request type");
+  }
+}
+
+namespace {
+
+/// Features must address columns of the service's dataset; an out-of-range
+/// id would be undefined behavior deep inside a detector.
+bool SubspaceInRange(const Subspace& subspace, std::size_t num_features) {
+  for (const FeatureId f : subspace.features()) {
+    if (f < 0 || static_cast<std::size_t>(f) >= num_features) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ExplainServer::HandleScore(std::uint64_t request_id,
+                                                     WireReader& reader) {
+  ScoreRequest request;
+  if (!DecodeScoreRequest(reader, &request)) {
+    return EncodeError(request_id, "malformed kScore body");
+  }
+  const auto it = services_.find(request.detector);
+  if (it == services_.end()) {
+    return EncodeError(request_id, "unknown detector: " + request.detector);
+  }
+  ScoringService& service = *it->second;
+  if (!SubspaceInRange(request.subspace, service.data().num_features())) {
+    return EncodeError(request_id, "subspace feature out of range");
+  }
+  const ScoreVectorPtr scores = service.Score(request.subspace);
+  ScoreResult result;
+  result.scores = *scores;
+  return EncodeScoreResult(request_id, result);
+}
+
+std::vector<std::uint8_t> ExplainServer::HandleExplain(std::uint64_t request_id,
+                                                       WireReader& reader) {
+  ExplainRequest request;
+  if (!DecodeExplainRequest(reader, &request)) {
+    return EncodeError(request_id, "malformed kExplain body");
+  }
+  const auto service_it = services_.find(request.detector);
+  if (service_it == services_.end()) {
+    return EncodeError(request_id, "unknown detector: " + request.detector);
+  }
+  const auto explainer_it = explainers_.find(request.explainer);
+  if (explainer_it == explainers_.end()) {
+    return EncodeError(request_id, "unknown explainer: " + request.explainer);
+  }
+  ScoringService& service = *service_it->second;
+  const Dataset& data = service.data();
+  if (request.point < 0 ||
+      static_cast<std::size_t>(request.point) >= data.num_points()) {
+    return EncodeError(request_id, "point index out of range");
+  }
+  if (request.target_dim < 2 ||
+      static_cast<std::size_t>(request.target_dim) > data.num_features()) {
+    return EncodeError(request_id, "target_dim out of range");
+  }
+  // Scoring routes through the service, so concurrent explanations share
+  // the cache and single-flight deduplication.
+  CachingDetector cached(service);
+  ExplainResult result;
+  result.ranking = explainer_it->second->Explain(data, cached, request.point,
+                                                 request.target_dim);
+  if (request.max_results > 0 && result.ranking.size() > request.max_results) {
+    result.ranking.subspaces.resize(request.max_results);
+    result.ranking.scores.resize(request.max_results);
+  }
+  return EncodeExplainResult(request_id, result);
+}
+
+std::vector<std::uint8_t> ExplainServer::HandleStats(std::uint64_t request_id) {
+  JsonObject services;
+  for (const auto& [name, service] : services_) {
+    services.AddRaw(name, service->stats().ToJson());
+  }
+  TextResult result;
+  result.text = JsonObject()
+                    .AddRaw("server", stats().ToJson())
+                    .AddRaw("services", services.Build())
+                    .Build();
+  return EncodeStatsResult(request_id, result);
+}
+
+void ExplainServer::EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                                    std::vector<std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame = EncodeFrame(payload);
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed) return;  // Peer already gone; drop the response.
+    conn->write_queue.push_back(std::move(frame));
+  }
+  Wake();
+}
+
+void ExplainServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed) return;
+    conn->closed = true;
+    conn->write_queue.clear();
+  }
+  const int fd = conn->socket.fd();
+  conn->socket.Close();
+  connections_.erase(fd);
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace subex

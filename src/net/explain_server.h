@@ -1,0 +1,182 @@
+#ifndef SUBEX_NET_EXPLAIN_SERVER_H_
+#define SUBEX_NET_EXPLAIN_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/thread_pool.h"
+#include "explain/point_explainer.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "serve/scoring_service.h"
+
+namespace subex {
+
+/// Point-in-time view of an `ExplainServer`'s counters (the `kStats`
+/// endpoint serves these plus every registered service's cache stats).
+struct ServerStatsSnapshot {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  /// Requests admitted to the queue (each eventually produces a response).
+  std::uint64_t requests_admitted = 0;
+  std::uint64_t responses_sent = 0;
+  /// Requests rejected with `kBusy` because the queue was full.
+  std::uint64_t busy_rejections = 0;
+  /// Malformed frames/headers (each also closes its connection).
+  std::uint64_t protocol_errors = 0;
+  /// Connections closed by the idle/write timeout.
+  std::uint64_t timeouts = 0;
+
+  std::string ToJson() const;
+};
+
+/// Knobs of an `ExplainServer`.
+struct ExplainServerOptions {
+  /// IPv4 address to bind (loopback by default — the testbed's benches and
+  /// tests talk to themselves).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral port (read `port()` after
+  /// `Start`).
+  std::uint16_t port = 0;
+  int listen_backlog = 64;
+  /// Bound on admitted-but-unfinished requests across all connections.
+  /// At the bound, new requests are answered `kBusy` immediately — the
+  /// server sheds load instead of buffering it (clients retry with
+  /// backoff). Must be >= 1.
+  std::size_t queue_capacity = 256;
+  /// Per-frame payload ceiling; a larger length prefix is a protocol error.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// A connection with no read/write progress and no in-flight work for
+  /// this long is closed. <= 0 disables the timeout.
+  int idle_timeout_ms = 30000;
+  /// Graceful-shutdown budget: `Stop` waits this long for in-flight
+  /// requests to finish and responses to flush before closing connections.
+  int drain_timeout_ms = 10000;
+};
+
+/// Networked explanation server: a single poll()-based event-loop thread
+/// multiplexes every connection, decodes length-prefixed request frames,
+/// and hands the compute — detector scoring through a `ScoringService`,
+/// point explanation through a registered `PointExplainer` — to the shared
+/// `ThreadPool`, so slow explanations never stall the loop.
+///
+/// Flow control is admission-based: at most `queue_capacity` requests may
+/// be in flight; beyond that the loop replies `kBusy` without touching the
+/// pool (no unbounded buffering anywhere — frames are bounded by
+/// `max_frame_bytes`, admissions by the queue, responses by admissions).
+/// `Stop` performs a graceful drain: the listener closes, reading stops,
+/// in-flight requests run to completion and their responses are flushed
+/// (up to `drain_timeout_ms`) before connections are torn down.
+///
+/// Register every service/explainer before `Start`; the registry is
+/// read-only while the loop runs. Handlers are thread-safe by construction:
+/// `ScoringService` is concurrent, explainers are stateless, and responses
+/// are serialized per connection under a mutex.
+class ExplainServer {
+ public:
+  /// `pool == nullptr` runs handlers inline on the event-loop thread
+  /// (single-threaded service, still correct — useful for tests).
+  explicit ExplainServer(const ExplainServerOptions& options = {},
+                         ThreadPool* pool = nullptr);
+  /// Stops (gracefully) if still running.
+  ~ExplainServer();
+
+  ExplainServer(const ExplainServer&) = delete;
+  ExplainServer& operator=(const ExplainServer&) = delete;
+
+  /// Exposes `service` under its detector name (`kScore`'s and `kExplain`'s
+  /// `detector` field). The service must outlive the server.
+  void RegisterService(ScoringService& service);
+  /// Exposes `explainer` under `name` for `kExplain`. Must outlive the
+  /// server.
+  void RegisterExplainer(const std::string& name,
+                         const PointExplainer& explainer);
+
+  /// Binds, listens and starts the event-loop thread. False + `*error` on
+  /// failure (e.g. port in use).
+  bool Start(std::string* error = nullptr);
+
+  /// Graceful shutdown: drains in-flight work, flushes responses, joins
+  /// the loop thread. Idempotent.
+  void Stop();
+
+  /// True between a successful `Start` and `Stop`.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound TCP port (valid after `Start`).
+  std::uint16_t port() const { return port_; }
+
+  ServerStatsSnapshot stats() const;
+
+  const ExplainServerOptions& options() const { return options_; }
+
+ private:
+  struct Connection;
+
+  void Loop();
+  void AcceptNewConnections();
+  /// Reads, frames and dispatches one ready connection. Returns false when
+  /// the connection should be closed.
+  bool HandleReadable(const std::shared_ptr<Connection>& conn);
+  /// Flushes as much of the write queue as the socket accepts. Returns
+  /// false on a fatal write error.
+  bool HandleWritable(const std::shared_ptr<Connection>& conn);
+  /// Admission control + dispatch of one decoded frame.
+  void DispatchFrame(const std::shared_ptr<Connection>& conn,
+                     std::vector<std::uint8_t> payload);
+  /// Runs on the pool: decodes the body, computes, enqueues the response.
+  void HandleRequest(const std::shared_ptr<Connection>& conn,
+                     MessageHeader header, std::vector<std::uint8_t> payload);
+  std::vector<std::uint8_t> ComputeResponse(const MessageHeader& header,
+                                            WireReader& reader);
+  std::vector<std::uint8_t> HandleScore(std::uint64_t request_id,
+                                        WireReader& reader);
+  std::vector<std::uint8_t> HandleExplain(std::uint64_t request_id,
+                                          WireReader& reader);
+  std::vector<std::uint8_t> HandleStats(std::uint64_t request_id);
+  void EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                       std::vector<std::uint8_t> payload);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  /// Nudges the poll loop out of its wait (self-pipe trick).
+  void Wake();
+
+  ExplainServerOptions options_;
+  ThreadPool* pool_;
+  std::unordered_map<std::string, ScoringService*> services_;
+  std::unordered_map<std::string, const PointExplainer*> explainers_;
+
+  Socket listener_;
+  Socket wake_read_;
+  Socket wake_write_;
+  std::uint16_t port_ = 0;
+  std::thread loop_thread_;
+  std::mutex lifecycle_mutex_;  // Serializes Start/Stop.
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  /// Admitted-but-unfinished requests (the bounded queue's fill level).
+  std::atomic<std::size_t> in_flight_{0};
+
+  // Counters (relaxed atomics; see ServiceStats for the precedent).
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  std::atomic<std::uint64_t> requests_admitted_{0};
+  std::atomic<std::uint64_t> responses_sent_{0};
+  std::atomic<std::uint64_t> busy_rejections_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+
+  /// Live connections, keyed by fd. Owned by the loop thread; handlers
+  /// hold their own shared_ptr and never touch this map.
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_NET_EXPLAIN_SERVER_H_

@@ -1,0 +1,57 @@
+#include "net/frame.h"
+
+namespace subex {
+namespace {
+
+constexpr std::size_t kLengthPrefixBytes = 4;
+
+std::uint32_t ReadLengthPrefix(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeFrame(
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kLengthPrefixBytes + payload.size());
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    frame.push_back(static_cast<std::uint8_t>(n >> shift));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+void FrameDecoder::Feed(const std::uint8_t* data, std::size_t size) {
+  if (error_) return;
+  // Compact once the dead prefix dominates, so long-lived connections do
+  // not grow the buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+bool FrameDecoder::Next(std::vector<std::uint8_t>* out) {
+  if (error_) return false;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kLengthPrefixBytes) return false;
+  const std::uint32_t length = ReadLengthPrefix(buffer_.data() + consumed_);
+  if (length > max_frame_bytes_) {
+    error_ = true;
+    return false;
+  }
+  if (available < kLengthPrefixBytes + length) return false;
+  const std::uint8_t* begin = buffer_.data() + consumed_ + kLengthPrefixBytes;
+  out->assign(begin, begin + length);
+  consumed_ += kLengthPrefixBytes + length;
+  return true;
+}
+
+}  // namespace subex

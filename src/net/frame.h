@@ -1,0 +1,52 @@
+#ifndef SUBEX_NET_FRAME_H_
+#define SUBEX_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace subex {
+
+/// Default per-frame payload ceiling (8 MiB) — comfortably above any score
+/// vector or explanation the testbed produces, small enough that a
+/// malformed length prefix cannot make a peer buffer gigabytes.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 8u << 20;
+
+/// Wraps `payload` in a frame: u32 little-endian payload length + payload.
+std::vector<std::uint8_t> EncodeFrame(const std::vector<std::uint8_t>& payload);
+
+/// Incremental decoder of the length-prefixed framing, the read half of a
+/// connection's state machine: feed whatever the socket delivered, then
+/// drain complete frames. Handles frames split across arbitrarily many
+/// reads and multiple frames per read (pipelining). A length prefix above
+/// `max_frame_bytes` is unrecoverable — the byte stream can no longer be
+/// resynchronized — so it trips a sticky error and the connection must be
+/// closed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes received from the socket. No-op after an error.
+  void Feed(const std::uint8_t* data, std::size_t size);
+
+  /// Moves the next complete frame's payload into `out` and returns true,
+  /// or returns false when no complete frame is buffered (or after an
+  /// error).
+  bool Next(std::vector<std::uint8_t>* out);
+
+  /// True once an oversized length prefix poisoned the stream.
+  bool error() const { return error_; }
+  /// Bytes buffered but not yet returned as frames.
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // Prefix of `buffer_` already handed out.
+  bool error_ = false;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_NET_FRAME_H_

@@ -1,0 +1,140 @@
+#include "net/protocol.h"
+
+namespace subex {
+namespace {
+
+WireWriter BeginMessage(MessageType type, std::uint64_t request_id) {
+  WireWriter writer;
+  writer.PutU8(kProtocolVersion);
+  writer.PutU8(static_cast<std::uint8_t>(type));
+  writer.PutU64(request_id);
+  return writer;
+}
+
+}  // namespace
+
+bool IsRequestType(MessageType type) {
+  return type == MessageType::kScore || type == MessageType::kExplain ||
+         type == MessageType::kStats;
+}
+
+void EncodeSubspace(WireWriter& writer, const Subspace& subspace) {
+  writer.PutU16(static_cast<std::uint16_t>(subspace.size()));
+  for (const FeatureId f : subspace.features()) writer.PutI32(f);
+}
+
+bool DecodeSubspace(WireReader& reader, Subspace* out) {
+  const std::uint16_t count = reader.GetU16();
+  std::vector<FeatureId> features;
+  features.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) features.push_back(reader.GetI32());
+  if (!reader.ok()) return false;
+  *out = Subspace(std::move(features));
+  return true;
+}
+
+std::vector<std::uint8_t> EncodeScoreRequest(std::uint64_t request_id,
+                                             const ScoreRequest& request) {
+  WireWriter writer = BeginMessage(MessageType::kScore, request_id);
+  writer.PutString(request.detector);
+  EncodeSubspace(writer, request.subspace);
+  return writer.Take();
+}
+
+std::vector<std::uint8_t> EncodeExplainRequest(std::uint64_t request_id,
+                                               const ExplainRequest& request) {
+  WireWriter writer = BeginMessage(MessageType::kExplain, request_id);
+  writer.PutString(request.detector);
+  writer.PutString(request.explainer);
+  writer.PutI32(request.point);
+  writer.PutI32(request.target_dim);
+  writer.PutU32(request.max_results);
+  return writer.Take();
+}
+
+std::vector<std::uint8_t> EncodeStatsRequest(std::uint64_t request_id) {
+  return BeginMessage(MessageType::kStats, request_id).Take();
+}
+
+std::vector<std::uint8_t> EncodeScoreResult(std::uint64_t request_id,
+                                            const ScoreResult& result) {
+  WireWriter writer = BeginMessage(MessageType::kScoreResult, request_id);
+  writer.PutDoubles(result.scores);
+  return writer.Take();
+}
+
+std::vector<std::uint8_t> EncodeExplainResult(std::uint64_t request_id,
+                                              const ExplainResult& result) {
+  WireWriter writer = BeginMessage(MessageType::kExplainResult, request_id);
+  const RankedSubspaces& ranking = result.ranking;
+  writer.PutU32(static_cast<std::uint32_t>(ranking.size()));
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    EncodeSubspace(writer, ranking.subspaces[i]);
+    writer.PutDouble(ranking.scores[i]);
+  }
+  return writer.Take();
+}
+
+std::vector<std::uint8_t> EncodeStatsResult(std::uint64_t request_id,
+                                            const TextResult& result) {
+  WireWriter writer = BeginMessage(MessageType::kStatsResult, request_id);
+  writer.PutString(result.text);
+  return writer.Take();
+}
+
+std::vector<std::uint8_t> EncodeBusy(std::uint64_t request_id) {
+  return BeginMessage(MessageType::kBusy, request_id).Take();
+}
+
+std::vector<std::uint8_t> EncodeError(std::uint64_t request_id,
+                                      const std::string& message) {
+  WireWriter writer = BeginMessage(MessageType::kError, request_id);
+  writer.PutString(message);
+  return writer.Take();
+}
+
+bool DecodeHeader(WireReader& reader, MessageHeader* out) {
+  out->version = reader.GetU8();
+  out->type = static_cast<MessageType>(reader.GetU8());
+  out->request_id = reader.GetU64();
+  return reader.ok();
+}
+
+bool DecodeScoreRequest(WireReader& reader, ScoreRequest* out) {
+  out->detector = reader.GetString();
+  return DecodeSubspace(reader, &out->subspace) && reader.AtEnd();
+}
+
+bool DecodeExplainRequest(WireReader& reader, ExplainRequest* out) {
+  out->detector = reader.GetString();
+  out->explainer = reader.GetString();
+  out->point = reader.GetI32();
+  out->target_dim = reader.GetI32();
+  out->max_results = reader.GetU32();
+  return reader.AtEnd();
+}
+
+bool DecodeScoreResult(WireReader& reader, ScoreResult* out) {
+  out->scores = reader.GetDoubles();
+  return reader.AtEnd();
+}
+
+bool DecodeExplainResult(WireReader& reader, ExplainResult* out) {
+  const std::uint32_t count = reader.GetU32();
+  out->ranking = RankedSubspaces{};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Subspace subspace;
+    if (!DecodeSubspace(reader, &subspace)) return false;
+    const double score = reader.GetDouble();
+    if (!reader.ok()) return false;
+    out->ranking.Add(std::move(subspace), score);
+  }
+  return reader.AtEnd();
+}
+
+bool DecodeTextResult(WireReader& reader, TextResult* out) {
+  out->text = reader.GetString();
+  return reader.AtEnd();
+}
+
+}  // namespace subex

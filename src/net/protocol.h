@@ -1,0 +1,125 @@
+#ifndef SUBEX_NET_PROTOCOL_H_
+#define SUBEX_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explain/explanation.h"
+#include "net/wire.h"
+#include "subspace/subspace.h"
+
+namespace subex {
+
+/// Wire protocol version carried in every message header; a server rejects
+/// frames from a different version with `kError` (no negotiation — both
+/// ends of the testbed ship together).
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Message discriminator. Requests are < 64, successful responses start at
+/// 64, and flow-control/error responses start at 100 (see DESIGN.md for
+/// the frame format table).
+enum class MessageType : std::uint8_t {
+  // Requests (client → server).
+  kScore = 1,    ///< Standardized score vector of one subspace.
+  kExplain = 2,  ///< Ranked explaining subspaces of one point.
+  kStats = 3,    ///< Server + per-service counters as JSON.
+  // Responses (server → client).
+  kScoreResult = 64,
+  kExplainResult = 65,
+  kStatsResult = 66,
+  kBusy = 100,   ///< Request queue full — retry with backoff.
+  kError = 101,  ///< Malformed or unserviceable request; body is a message.
+};
+
+/// True for the three client-issued message types.
+bool IsRequestType(MessageType type);
+
+/// Fixed prelude of every payload: version, type, and the client-chosen
+/// request id the server echoes back (responses to pipelined requests may
+/// arrive in any order; the id pairs them up).
+struct MessageHeader {
+  std::uint8_t version = kProtocolVersion;
+  MessageType type = MessageType::kError;
+  std::uint64_t request_id = 0;
+};
+
+/// Serialized size of a `MessageHeader`.
+inline constexpr std::size_t kMessageHeaderBytes = 1 + 1 + 8;
+
+// ---------------------------------------------------------------------------
+// Message bodies.
+
+/// `kScore`: which detector, which subspace.
+struct ScoreRequest {
+  std::string detector;
+  Subspace subspace;
+};
+
+/// `kExplain`: explain `point` with `explainer` using `detector` as the
+/// outlyingness criterion, returning subspaces of exactly `target_dim`
+/// features (truncated to `max_results` when non-zero).
+struct ExplainRequest {
+  std::string detector;
+  std::string explainer;
+  std::int32_t point = 0;
+  std::int32_t target_dim = 2;
+  std::uint32_t max_results = 0;
+};
+
+/// `kScoreResult`: the standardized score vector, bitwise identical to the
+/// in-process `ScoringService::Score` result.
+struct ScoreResult {
+  std::vector<double> scores;
+};
+
+/// `kExplainResult`: ranked subspaces, best first.
+struct ExplainResult {
+  RankedSubspaces ranking;
+};
+
+/// `kStatsResult`: one JSON document (server counters + per-service cache
+/// stats). `kError` reuses the same single-string shape for its message.
+struct TextResult {
+  std::string text;
+};
+
+// ---------------------------------------------------------------------------
+// Encoding. Each function produces a complete payload (header + body),
+// ready for `EncodeFrame`.
+
+void EncodeSubspace(WireWriter& writer, const Subspace& subspace);
+/// Returns false (leaving `out` unspecified) on a corrupt encoding.
+bool DecodeSubspace(WireReader& reader, Subspace* out);
+
+std::vector<std::uint8_t> EncodeScoreRequest(std::uint64_t request_id,
+                                             const ScoreRequest& request);
+std::vector<std::uint8_t> EncodeExplainRequest(std::uint64_t request_id,
+                                               const ExplainRequest& request);
+std::vector<std::uint8_t> EncodeStatsRequest(std::uint64_t request_id);
+std::vector<std::uint8_t> EncodeScoreResult(std::uint64_t request_id,
+                                            const ScoreResult& result);
+std::vector<std::uint8_t> EncodeExplainResult(std::uint64_t request_id,
+                                              const ExplainResult& result);
+std::vector<std::uint8_t> EncodeStatsResult(std::uint64_t request_id,
+                                            const TextResult& result);
+std::vector<std::uint8_t> EncodeBusy(std::uint64_t request_id);
+std::vector<std::uint8_t> EncodeError(std::uint64_t request_id,
+                                      const std::string& message);
+
+// ---------------------------------------------------------------------------
+// Decoding. `DecodeHeader` consumes the prelude from `reader`; the
+// per-type body decoders consume the rest and return false on corrupt or
+// trailing bytes.
+
+bool DecodeHeader(WireReader& reader, MessageHeader* out);
+bool DecodeScoreRequest(WireReader& reader, ScoreRequest* out);
+bool DecodeExplainRequest(WireReader& reader, ExplainRequest* out);
+bool DecodeScoreResult(WireReader& reader, ScoreResult* out);
+bool DecodeExplainResult(WireReader& reader, ExplainResult* out);
+/// Body of `kStatsResult` and `kError` (a single string).
+bool DecodeTextResult(WireReader& reader, TextResult* out);
+
+}  // namespace subex
+
+#endif  // SUBEX_NET_PROTOCOL_H_

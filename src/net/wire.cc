@@ -1,0 +1,103 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace subex {
+
+void WireWriter::PutU16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::PutU32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::PutU64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::PutDouble(double v) {
+  PutU64(std::bit_cast<std::uint64_t>(v));
+}
+
+void WireWriter::PutString(const std::string& s) {
+  PutU32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void WireWriter::PutDoubles(const std::vector<double>& v) {
+  PutU32(static_cast<std::uint32_t>(v.size()));
+  for (const double d : v) PutDouble(d);
+}
+
+bool WireReader::Take(std::size_t n, const std::uint8_t** out) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_ + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t WireReader::GetU8() {
+  const std::uint8_t* p = nullptr;
+  return Take(1, &p) ? *p : 0;
+}
+
+std::uint16_t WireReader::GetU16() {
+  const std::uint8_t* p = nullptr;
+  if (!Take(2, &p)) return 0;
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t WireReader::GetU32() {
+  const std::uint8_t* p = nullptr;
+  if (!Take(4, &p)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t WireReader::GetU64() {
+  const std::uint8_t* p = nullptr;
+  if (!Take(8, &p)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double WireReader::GetDouble() {
+  return std::bit_cast<double>(GetU64());
+}
+
+std::string WireReader::GetString() {
+  const std::uint32_t n = GetU32();
+  if (n > remaining()) {
+    ok_ = false;
+    return {};
+  }
+  const std::uint8_t* p = nullptr;
+  if (!Take(n, &p)) return {};
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+std::vector<double> WireReader::GetDoubles() {
+  const std::uint32_t n = GetU32();
+  if (static_cast<std::size_t>(n) * sizeof(double) > remaining()) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(GetDouble());
+  return v;
+}
+
+}  // namespace subex

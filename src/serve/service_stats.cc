@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace subex {
 
 double ServiceStatsSnapshot::HitRate() const {
@@ -21,6 +23,18 @@ std::string ServiceStatsSnapshot::ToString() const {
                 HitRate() * 100.0,
                 static_cast<unsigned long long>(evictions), ComputeSeconds());
   return buffer;
+}
+
+std::string ServiceStatsSnapshot::ToJson() const {
+  return JsonObject()
+      .Add("hits", hits)
+      .Add("misses", misses)
+      .Add("dedup_joins", dedup_joins)
+      .Add("evictions", evictions)
+      .Add("requests", Requests())
+      .Add("hit_rate", HitRate())
+      .Add("compute_seconds", ComputeSeconds())
+      .Build();
 }
 
 ServiceStatsSnapshot ServiceStats::snapshot() const {

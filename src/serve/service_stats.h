@@ -30,6 +30,10 @@ struct ServiceStatsSnapshot {
   /// "1234 hits / 56 misses / 7 joins (hit rate 95.1%), 0 evictions,
   ///  compute 1.23s".
   std::string ToString() const;
+  /// Machine-readable form for the `kStats` network endpoint and the
+  /// benches' `--stats`/`--json` output, e.g.
+  /// `{"hits":1234,...,"hit_rate":0.951,"compute_seconds":1.23}`.
+  std::string ToJson() const;
 };
 
 /// Thread-safe counters of a scoring service. All mutators are lock-free

@@ -16,6 +16,7 @@
 ///   subex::RankedSubspaces why =
 ///       beam.Explain(data.dataset, lof, /*point=*/0, /*target_dim=*/2);
 
+#include "common/json.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -49,6 +50,12 @@
 #include "explain/summarizer.h"
 #include "explain/surrogate.h"
 #include "ml/regression_tree.h"
+#include "net/explain_client.h"
+#include "net/explain_server.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "net/wire.h"
 #include "serve/score_cache.h"
 #include "serve/scoring_service.h"
 #include "serve/service_stats.h"

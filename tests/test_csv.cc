@@ -116,6 +116,49 @@ TEST_F(CsvTest, EmptyFileFails) {
   std::remove(path.c_str());
 }
 
+TEST_F(CsvTest, CrlfLineEndingsParseAsOnUnix) {
+  const std::string path = Path("crlf.csv");
+  WriteFile(path, "x,y,is_outlier\r\n1,2,0\r\n3,4,1\r\n");
+  const CsvReadResult result = ReadCsv(path);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.dataset.num_points(), 2u);
+  EXPECT_EQ(result.dataset.num_features(), 2u);
+  EXPECT_EQ(result.dataset.outlier_indices(), (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(result.dataset.Value(1, 1), 4.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, MissingTrailingNewlineStillReadsLastRow) {
+  const std::string path = Path("notrailing.csv");
+  WriteFile(path, "1,2,0\n3,4,1");  // No newline after the final row.
+  const CsvReadResult result = ReadCsv(path);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.dataset.num_points(), 2u);
+  EXPECT_EQ(result.dataset.outlier_indices(), (std::vector<int>{1}));
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, EmptyTrailingFieldFailsWithLineNumber) {
+  const std::string path = Path("trailingcomma.csv");
+  WriteFile(path, "1,2,0\n3,4,\n");  // "3,4," = empty third field.
+  const CsvReadResult result = ReadCsv(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find(":2"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("non-numeric"), std::string::npos)
+      << result.error;
+  std::remove(path.c_str());
+}
+
+TEST_F(CsvTest, HeaderOnlyFileFailsAsNoDataRows) {
+  const std::string path = Path("headeronly.csv");
+  WriteFile(path, "x,y,is_outlier\n");
+  const CsvReadResult result = ReadCsv(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no data rows"), std::string::npos)
+      << result.error;
+  std::remove(path.c_str());
+}
+
 TEST_F(CsvTest, LabelModeNeedsAtLeastTwoColumns) {
   const std::string path = Path("onecol.csv");
   WriteFile(path, "1\n2\n");

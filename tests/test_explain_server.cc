@@ -1,0 +1,402 @@
+#include "net/explain_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generators.h"
+#include "detect/isolation_forest.h"
+#include "detect/lof.h"
+#include "explain/beam.h"
+#include "explain/refout.h"
+#include "net/explain_client.h"
+#include "subspace/enumeration.h"
+
+namespace subex {
+namespace {
+
+SyntheticDataset SmallHics(std::uint64_t seed = 77) {
+  HicsGeneratorConfig config;
+  config.num_points = 150;
+  config.subspace_dims = {2, 2, 3};  // 7 features.
+  config.seed = seed;
+  return GenerateHicsDataset(config);
+}
+
+/// Blocks every `Score` call while the gate is closed — makes "a request
+/// is in flight right now" a deterministic state instead of a race.
+class GateDetector : public Detector {
+ public:
+  GateDetector(const Detector& inner, std::atomic<bool>* gate)
+      : inner_(inner), gate_(gate) {}
+  std::string name() const override { return inner_.name(); }
+  std::vector<double> Score(const Dataset& data,
+                            const Subspace& subspace) const override {
+    while (!gate_->load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return inner_.Score(data, subspace);
+  }
+
+ private:
+  const Detector& inner_;
+  std::atomic<bool>* gate_;
+};
+
+/// Polls `predicate` until true or the deadline passes.
+bool WaitFor(const std::function<bool()>& predicate, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return predicate();
+}
+
+/// One dataset + LOF/iForest services + Beam/RefOut explainers behind a
+/// started server, the fixture most tests share.
+class ExplainServerTest : public ::testing::Test {
+ protected:
+  void StartServer(const ExplainServerOptions& options = {},
+                   std::size_t pool_threads = 2) {
+    pool_ = std::make_unique<ThreadPool>(pool_threads);
+    lof_service_ =
+        std::make_unique<ScoringService>(lof_, data_.dataset,
+                                         ScoringServiceOptions{}, pool_.get());
+    forest_service_ =
+        std::make_unique<ScoringService>(forest_, data_.dataset,
+                                         ScoringServiceOptions{}, pool_.get());
+    server_ = std::make_unique<ExplainServer>(options, pool_.get());
+    server_->RegisterService(*lof_service_);
+    server_->RegisterService(*forest_service_);
+    server_->RegisterExplainer("Beam", beam_);
+    server_->RegisterExplainer("RefOut", refout_);
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+  }
+
+  ExplainClient MakeClient(ExplainClientOptions options = {}) {
+    ExplainClient client(options);
+    std::string error;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+    return client;
+  }
+
+  SyntheticDataset data_ = SmallHics();
+  Lof lof_{15};
+  IsolationForest forest_{[] {
+    IsolationForest::Options options;
+    options.num_trees = 20;
+    options.num_repetitions = 2;
+    return options;
+  }()};
+  Beam beam_;
+  RefOut refout_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ScoringService> lof_service_;
+  std::unique_ptr<ScoringService> forest_service_;
+  std::unique_ptr<ExplainServer> server_;
+};
+
+TEST_F(ExplainServerTest, StartBindsEphemeralPortAndStopIsIdempotent) {
+  StartServer();
+  EXPECT_TRUE(server_->running());
+  EXPECT_NE(server_->port(), 0);
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+  server_->Stop();  // Second Stop is a no-op.
+}
+
+TEST_F(ExplainServerTest, ScoreMatchesInProcessBitwise) {
+  StartServer();
+  ExplainClient client = MakeClient();
+  for (const Subspace& s : EnumerateSubspaces(7, 2)) {
+    const ExplainClient::ScoreReply reply = client.Score("LOF", s);
+    ASSERT_TRUE(reply.ok()) << reply.error;
+    EXPECT_EQ(reply.scores, ScoreStandardized(lof_, data_.dataset, s))
+        << s.ToString();
+  }
+  // Stochastic detector: seeded per subspace, so served == direct too.
+  const Subspace s({1, 4, 6});
+  const ExplainClient::ScoreReply reply = client.Score("iForest", s);
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_EQ(reply.scores, ScoreStandardized(forest_, data_.dataset, s));
+}
+
+TEST_F(ExplainServerTest, ExplainMatchesInProcessBitwise) {
+  StartServer();
+  ExplainClient client = MakeClient();
+  const int point = data_.dataset.outlier_indices().front();
+  const RankedSubspaces direct = beam_.Explain(data_.dataset, lof_, point, 2);
+  const ExplainClient::ExplainReply reply =
+      client.Explain("LOF", "Beam", point, 2);
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_EQ(reply.ranking.subspaces, direct.subspaces);
+  EXPECT_EQ(reply.ranking.scores, direct.scores);
+}
+
+TEST_F(ExplainServerTest, ExplainTruncatesToMaxResults) {
+  StartServer();
+  ExplainClient client = MakeClient();
+  const int point = data_.dataset.outlier_indices().front();
+  const ExplainClient::ExplainReply reply =
+      client.Explain("LOF", "Beam", point, 2, /*max_results=*/3);
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_EQ(reply.ranking.size(), 3u);
+  const RankedSubspaces direct = beam_.Explain(data_.dataset, lof_, point, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(reply.ranking.subspaces[i], direct.subspaces[i]);
+  }
+}
+
+TEST_F(ExplainServerTest, StatsEndpointReportsServerAndServiceCounters) {
+  StartServer();
+  ExplainClient client = MakeClient();
+  ASSERT_TRUE(client.Score("LOF", Subspace({0, 1})).ok());
+  const ExplainClient::StatsReply reply = client.Stats();
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_NE(reply.json.find("\"server\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"services\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"LOF\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"iForest\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"requests_admitted\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"hit_rate\""), std::string::npos);
+}
+
+TEST_F(ExplainServerTest, InvalidRequestsGetErrorRepliesNotDisconnects) {
+  StartServer();
+  ExplainClient client = MakeClient();
+
+  ExplainClient::ScoreReply score = client.Score("NoSuch", Subspace({0, 1}));
+  EXPECT_EQ(score.status, ClientStatus::kServerError);
+  EXPECT_NE(score.error.find("unknown detector"), std::string::npos);
+
+  score = client.Score("LOF", Subspace({0, 99}));
+  EXPECT_EQ(score.status, ClientStatus::kServerError);
+  EXPECT_NE(score.error.find("out of range"), std::string::npos);
+
+  ExplainClient::ExplainReply explain =
+      client.Explain("LOF", "NoSuch", 0, 2);
+  EXPECT_EQ(explain.status, ClientStatus::kServerError);
+  EXPECT_NE(explain.error.find("unknown explainer"), std::string::npos);
+
+  explain = client.Explain("LOF", "Beam", -1, 2);
+  EXPECT_EQ(explain.status, ClientStatus::kServerError);
+  explain = client.Explain("LOF", "Beam", 0, 1);
+  EXPECT_EQ(explain.status, ClientStatus::kServerError);
+
+  // The connection survived all five rejections.
+  EXPECT_TRUE(client.Score("LOF", Subspace({0, 1})).ok());
+}
+
+TEST_F(ExplainServerTest, InlineModeWithoutPoolServesRequests) {
+  // pool == nullptr runs handlers on the event-loop thread.
+  lof_service_ = std::make_unique<ScoringService>(lof_, data_.dataset);
+  server_ = std::make_unique<ExplainServer>(ExplainServerOptions{}, nullptr);
+  server_->RegisterService(*lof_service_);
+  std::string error;
+  ASSERT_TRUE(server_->Start(&error)) << error;
+  ExplainClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  const Subspace s({2, 5});
+  const ExplainClient::ScoreReply reply = client.Score("LOF", s);
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_EQ(reply.scores, ScoreStandardized(lof_, data_.dataset, s));
+}
+
+// The acceptance-criterion test: N concurrent clients, mixed kScore and
+// kExplain, every result bitwise identical to the direct in-process call.
+TEST_F(ExplainServerTest, ConcurrentMixedClientsMatchInProcessBitwise) {
+  StartServer(ExplainServerOptions{}, /*pool_threads=*/3);
+  const std::vector<Subspace> subspaces = EnumerateSubspaces(7, 2);
+  std::vector<std::vector<double>> expected_scores;
+  for (const Subspace& s : subspaces) {
+    expected_scores.push_back(ScoreStandardized(lof_, data_.dataset, s));
+  }
+  const int point = data_.dataset.outlier_indices().front();
+  const RankedSubspaces expected_ranking =
+      beam_.Explain(data_.dataset, lof_, point, 2);
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 30;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      ExplainClient client;
+      std::string error;
+      if (!client.Connect("127.0.0.1", server_->port(), &error)) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        if (r % 10 == 9) {
+          const ExplainClient::ExplainReply reply =
+              client.Explain("LOF", "Beam", point, 2);
+          if (!reply.ok()) {
+            failures.fetch_add(1);
+          } else if (reply.ranking.subspaces != expected_ranking.subspaces ||
+                     reply.ranking.scores != expected_ranking.scores) {
+            mismatches.fetch_add(1);
+          }
+        } else {
+          const std::size_t i = (r + t * 7) % subspaces.size();
+          const ExplainClient::ScoreReply reply =
+              client.Score("LOF", subspaces[i]);
+          if (!reply.ok()) {
+            failures.fetch_add(1);
+          } else if (reply.scores != expected_scores[i]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0)
+      << "served results must be bitwise identical to in-process calls";
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kClients) * kRequestsPerClient;
+  EXPECT_EQ(server_->stats().requests_admitted, expected);
+  // The loop thread increments responses_sent just after the final send(),
+  // so a client can observe its reply marginally before the counter.
+  EXPECT_TRUE(
+      WaitFor([&] { return server_->stats().responses_sent == expected; }));
+  EXPECT_EQ(server_->stats().protocol_errors, 0u);
+}
+
+TEST_F(ExplainServerTest, FullQueueRepliesBusyImmediately) {
+  std::atomic<bool> gate{false};
+  GateDetector gated(lof_, &gate);
+  pool_ = std::make_unique<ThreadPool>(2);
+  ScoringServiceOptions no_cache;
+  no_cache.enable_cache = false;
+  ScoringService service(gated, data_.dataset, no_cache, pool_.get());
+  ExplainServerOptions options;
+  options.queue_capacity = 1;  // One admitted request fills the queue.
+  server_ = std::make_unique<ExplainServer>(options, pool_.get());
+  server_->RegisterService(service);
+  std::string error;
+  ASSERT_TRUE(server_->Start(&error)) << error;
+
+  // Client A's request is admitted, then blocks on the gate.
+  const Subspace s1({0, 1});
+  std::thread blocked([&] {
+    ExplainClient client;
+    std::string connect_error;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &connect_error));
+    const ExplainClient::ScoreReply reply = client.Score("LOF", s1);
+    EXPECT_TRUE(reply.ok()) << reply.error;
+    EXPECT_EQ(reply.scores, ScoreStandardized(lof_, data_.dataset, s1));
+  });
+  ASSERT_TRUE(
+      WaitFor([&] { return server_->stats().requests_admitted == 1; }));
+
+  // Client B is rejected instantly: no retries configured.
+  ExplainClientOptions no_retry;
+  no_retry.max_busy_retries = 0;
+  ExplainClient rejected = MakeClient(no_retry);
+  const ExplainClient::ScoreReply busy = rejected.Score("LOF", Subspace({2, 3}));
+  EXPECT_EQ(busy.status, ClientStatus::kBusy);
+  EXPECT_GE(server_->stats().busy_rejections, 1u);
+
+  // With retries, the same request succeeds once the gate opens.
+  gate.store(true, std::memory_order_release);
+  blocked.join();
+  ExplainClientOptions with_retry;
+  with_retry.max_busy_retries = 20;
+  ExplainClient retrying = MakeClient(with_retry);
+  const Subspace s2({2, 3});
+  const ExplainClient::ScoreReply reply = retrying.Score("LOF", s2);
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_EQ(reply.scores, ScoreStandardized(lof_, data_.dataset, s2));
+}
+
+TEST_F(ExplainServerTest, GracefulShutdownDrainsInFlightRequests) {
+  std::atomic<bool> gate{false};
+  GateDetector gated(lof_, &gate);
+  pool_ = std::make_unique<ThreadPool>(2);
+  ScoringService service(gated, data_.dataset, ScoringServiceOptions{},
+                         pool_.get());
+  server_ = std::make_unique<ExplainServer>(ExplainServerOptions{},
+                                            pool_.get());
+  server_->RegisterService(service);
+  std::string error;
+  ASSERT_TRUE(server_->Start(&error)) << error;
+
+  const Subspace s({3, 4});
+  std::thread requester([&] {
+    ExplainClient client;
+    std::string connect_error;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &connect_error));
+    const ExplainClient::ScoreReply reply = client.Score("LOF", s);
+    // The in-flight request must complete with the real result, not an
+    // aborted connection.
+    ASSERT_TRUE(reply.ok()) << reply.error;
+    EXPECT_EQ(reply.scores, ScoreStandardized(lof_, data_.dataset, s));
+  });
+  ASSERT_TRUE(
+      WaitFor([&] { return server_->stats().requests_admitted == 1; }));
+
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    gate.store(true, std::memory_order_release);
+  });
+  server_->Stop();  // Must block until the response above is flushed.
+  EXPECT_FALSE(server_->running());
+  requester.join();
+  releaser.join();
+  const ServerStatsSnapshot stats = server_->stats();
+  EXPECT_EQ(stats.requests_admitted, 1u);
+  EXPECT_EQ(stats.responses_sent, 1u);
+}
+
+TEST_F(ExplainServerTest, OversizedFrameClosesConnection) {
+  StartServer();
+  std::string error;
+  Socket raw = ConnectTcp("127.0.0.1", server_->port(), 2000, &error);
+  ASSERT_TRUE(raw.valid()) << error;
+  // Length prefix far above max_frame_bytes: unrecoverable protocol error.
+  const std::uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+  ASSERT_TRUE(SendAll(raw.fd(), huge, sizeof(huge), 1000, &error)) << error;
+  // The server answers kError and closes; eventually we observe EOF.
+  std::uint8_t buf[256];
+  bool saw_eof = false;
+  for (int i = 0; i < 100 && !saw_eof; ++i) {
+    std::size_t received = 0;
+    if (!RecvSome(raw.fd(), buf, sizeof(buf), 100, &received, &error)) break;
+    if (received == 0) saw_eof = true;
+  }
+  EXPECT_TRUE(saw_eof);
+  EXPECT_TRUE(WaitFor([&] { return server_->stats().protocol_errors >= 1; }));
+}
+
+TEST_F(ExplainServerTest, IdleConnectionsAreTimedOut) {
+  ExplainServerOptions options;
+  options.idle_timeout_ms = 50;
+  StartServer(options);
+  ExplainClient client = MakeClient();
+  ASSERT_TRUE(client.Score("LOF", Subspace({0, 1})).ok());
+  EXPECT_TRUE(WaitFor([&] { return server_->stats().timeouts >= 1; }))
+      << "an idle connection should be reaped";
+}
+
+TEST(ServerStatsSnapshotTest, ToJsonContainsEveryCounter) {
+  ServerStatsSnapshot snap;
+  snap.connections_accepted = 3;
+  snap.busy_rejections = 7;
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"connections_accepted\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"busy_rejections\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"timeouts\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,241 @@
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace subex {
+namespace {
+
+TEST(WireTest, ScalarRoundTrip) {
+  WireWriter writer;
+  writer.PutU8(0xAB);
+  writer.PutU16(0xBEEF);
+  writer.PutU32(0xDEADBEEFu);
+  writer.PutU64(0x0123456789ABCDEFull);
+  writer.PutI32(-42);
+  writer.PutDouble(-1234.5678);
+  writer.PutString("hello");
+  writer.PutDoubles({1.0, -2.5, 3.25});
+
+  WireReader reader(writer.bytes());
+  EXPECT_EQ(reader.GetU8(), 0xAB);
+  EXPECT_EQ(reader.GetU16(), 0xBEEF);
+  EXPECT_EQ(reader.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.GetI32(), -42);
+  EXPECT_EQ(reader.GetDouble(), -1234.5678);
+  EXPECT_EQ(reader.GetString(), "hello");
+  EXPECT_EQ(reader.GetDoubles(), (std::vector<double>{1.0, -2.5, 3.25}));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WireTest, DoubleBitPatternsSurviveExactly) {
+  const std::vector<double> tricky = {
+      0.0, -0.0, std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(), 0.1 + 0.2};
+  WireWriter writer;
+  writer.PutDoubles(tricky);
+  WireReader reader(writer.bytes());
+  const std::vector<double> back = reader.GetDoubles();
+  ASSERT_EQ(back.size(), tricky.size());
+  for (std::size_t i = 0; i < tricky.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back[i]),
+              std::bit_cast<std::uint64_t>(tricky[i]));
+  }
+  // NaN separately: EXPECT_EQ on values would fail, bits must match.
+  WireWriter w2;
+  w2.PutDouble(std::numeric_limits<double>::quiet_NaN());
+  WireReader r2(w2.bytes());
+  EXPECT_TRUE(std::isnan(r2.GetDouble()));
+}
+
+TEST(WireTest, TruncatedReadTripsStickyError) {
+  WireWriter writer;
+  writer.PutU32(7);
+  WireReader reader(writer.bytes());
+  reader.GetU64();  // 8 bytes wanted, 4 available.
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.GetU32(), 0u) << "reads after an error yield zero";
+  EXPECT_FALSE(reader.AtEnd());
+}
+
+TEST(WireTest, CorruptStringLengthFailsInsteadOfAllocating) {
+  WireWriter writer;
+  writer.PutU32(0xFFFFFFFFu);  // Claims a 4 GiB string.
+  WireReader reader(writer.bytes());
+  EXPECT_EQ(reader.GetString(), "");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(FrameTest, EncodePrefixesLittleEndianLength) {
+  const std::vector<std::uint8_t> frame = EncodeFrame({0x11, 0x22, 0x33});
+  ASSERT_EQ(frame.size(), 7u);
+  EXPECT_EQ(frame[0], 3u);
+  EXPECT_EQ(frame[1], 0u);
+  EXPECT_EQ(frame[2], 0u);
+  EXPECT_EQ(frame[3], 0u);
+  EXPECT_EQ(frame[4], 0x11);
+}
+
+TEST(FrameTest, DecoderReassemblesByteByByte) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> frame = EncodeFrame(payload);
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    decoder.Feed(&frame[i], 1);
+    EXPECT_FALSE(decoder.Next(&out)) << "frame incomplete at byte " << i;
+  }
+  decoder.Feed(&frame.back(), 1);
+  ASSERT_TRUE(decoder.Next(&out));
+  EXPECT_EQ(out, payload);
+  EXPECT_FALSE(decoder.Next(&out));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameTest, DecoderHandlesPipelinedFramesInOneFeed) {
+  std::vector<std::uint8_t> stream;
+  for (std::uint8_t v : {10, 20, 30}) {
+    const std::vector<std::uint8_t> frame = EncodeFrame({v, v});
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  FrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size());
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(decoder.Next(&out));
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{10, 10}));
+  ASSERT_TRUE(decoder.Next(&out));
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{20, 20}));
+  ASSERT_TRUE(decoder.Next(&out));
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{30, 30}));
+  EXPECT_FALSE(decoder.Next(&out));
+}
+
+TEST(FrameTest, OversizedLengthPrefixPoisonsTheStream) {
+  FrameDecoder decoder(/*max_frame_bytes=*/16);
+  const std::vector<std::uint8_t> huge(17, 0xAA);
+  const std::vector<std::uint8_t> frame = EncodeFrame(huge);
+  decoder.Feed(frame.data(), frame.size());
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(decoder.Next(&out));
+  EXPECT_TRUE(decoder.error());
+  // Even a subsequent valid frame is unreachable: the stream is dead.
+  const std::vector<std::uint8_t> ok = EncodeFrame({1});
+  decoder.Feed(ok.data(), ok.size());
+  EXPECT_FALSE(decoder.Next(&out));
+}
+
+TEST(FrameTest, EmptyPayloadFrameIsValid) {
+  const std::vector<std::uint8_t> frame = EncodeFrame({});
+  FrameDecoder decoder;
+  decoder.Feed(frame.data(), frame.size());
+  std::vector<std::uint8_t> out = {9, 9};
+  ASSERT_TRUE(decoder.Next(&out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ProtocolTest, ScoreRequestRoundTrip) {
+  ScoreRequest request;
+  request.detector = "LOF";
+  request.subspace = Subspace({3, 1, 7});
+  const std::vector<std::uint8_t> payload = EncodeScoreRequest(42, request);
+
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_EQ(header.version, kProtocolVersion);
+  EXPECT_EQ(header.type, MessageType::kScore);
+  EXPECT_EQ(header.request_id, 42u);
+  ScoreRequest back;
+  ASSERT_TRUE(DecodeScoreRequest(reader, &back));
+  EXPECT_EQ(back.detector, "LOF");
+  EXPECT_EQ(back.subspace, Subspace({1, 3, 7}));
+}
+
+TEST(ProtocolTest, ExplainRequestRoundTrip) {
+  ExplainRequest request;
+  request.detector = "iForest";
+  request.explainer = "Beam";
+  request.point = 123;
+  request.target_dim = 3;
+  request.max_results = 10;
+  const std::vector<std::uint8_t> payload = EncodeExplainRequest(7, request);
+
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_EQ(header.type, MessageType::kExplain);
+  ExplainRequest back;
+  ASSERT_TRUE(DecodeExplainRequest(reader, &back));
+  EXPECT_EQ(back.detector, "iForest");
+  EXPECT_EQ(back.explainer, "Beam");
+  EXPECT_EQ(back.point, 123);
+  EXPECT_EQ(back.target_dim, 3);
+  EXPECT_EQ(back.max_results, 10u);
+}
+
+TEST(ProtocolTest, ExplainResultRoundTripPreservesRankingExactly) {
+  ExplainResult result;
+  result.ranking.Add(Subspace({0, 2}), 3.75);
+  result.ranking.Add(Subspace({1, 4}), -0.5);
+  const std::vector<std::uint8_t> payload = EncodeExplainResult(9, result);
+
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_EQ(header.type, MessageType::kExplainResult);
+  EXPECT_EQ(header.request_id, 9u);
+  ExplainResult back;
+  ASSERT_TRUE(DecodeExplainResult(reader, &back));
+  EXPECT_EQ(back.ranking.subspaces, result.ranking.subspaces);
+  EXPECT_EQ(back.ranking.scores, result.ranking.scores);
+}
+
+TEST(ProtocolTest, BusyAndErrorRoundTrip) {
+  {
+    const std::vector<std::uint8_t> payload = EncodeBusy(5);
+    WireReader reader(payload);
+    MessageHeader header;
+    ASSERT_TRUE(DecodeHeader(reader, &header));
+    EXPECT_EQ(header.type, MessageType::kBusy);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+  {
+    const std::vector<std::uint8_t> payload = EncodeError(6, "nope");
+    WireReader reader(payload);
+    MessageHeader header;
+    ASSERT_TRUE(DecodeHeader(reader, &header));
+    EXPECT_EQ(header.type, MessageType::kError);
+    TextResult text;
+    ASSERT_TRUE(DecodeTextResult(reader, &text));
+    EXPECT_EQ(text.text, "nope");
+  }
+}
+
+TEST(ProtocolTest, BodyDecodersRejectTrailingBytes) {
+  std::vector<std::uint8_t> payload = EncodeStatsRequest(1);
+  payload.push_back(0xFF);  // Junk after a well-formed message.
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  TextResult text;
+  EXPECT_FALSE(DecodeTextResult(reader, &text));
+}
+
+TEST(ProtocolTest, RequestTypePredicate) {
+  EXPECT_TRUE(IsRequestType(MessageType::kScore));
+  EXPECT_TRUE(IsRequestType(MessageType::kExplain));
+  EXPECT_TRUE(IsRequestType(MessageType::kStats));
+  EXPECT_FALSE(IsRequestType(MessageType::kScoreResult));
+  EXPECT_FALSE(IsRequestType(MessageType::kBusy));
+  EXPECT_FALSE(IsRequestType(MessageType::kError));
+}
+
+}  // namespace
+}  // namespace subex

@@ -322,6 +322,9 @@ TEST(ServiceStatsTest, SnapshotAndReset) {
   EXPECT_DOUBLE_EQ(snap.HitRate(), 0.75);
   EXPECT_DOUBLE_EQ(snap.ComputeSeconds(), 1.5);
   EXPECT_NE(snap.ToString().find("hit rate 75.0%"), std::string::npos);
+  EXPECT_EQ(snap.ToJson(),
+            "{\"hits\":2,\"misses\":1,\"dedup_joins\":1,\"evictions\":1,"
+            "\"requests\":4,\"hit_rate\":0.75,\"compute_seconds\":1.5}");
   stats.Reset();
   snap = stats.snapshot();
   EXPECT_EQ(snap.Requests(), 0u);
