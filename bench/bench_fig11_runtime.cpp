@@ -22,9 +22,14 @@
 // Usage: bench_fig11_runtime [--full] [--seed N] [--threads N] [--no-cache]
 //                            [--stats] [--json out.json]
 //
-// --stats prints each dataset's per-detector cache counters as JSON (the
-// same shape the ExplainServer kStats endpoint returns); --json writes a
-// machine-readable timing report with one row per measured pipeline cell.
+// --stats prints, per dataset, the per-detector cache counters plus the
+// metrics-registry snapshot (the same JSON the ExplainServer kStats
+// endpoint returns): detect.score.<detector> and explain.search.<explainer>
+// latency histograms give the figure's runtime a per-stage breakdown —
+// detector scoring vs explainer search — beyond the per-cell wall clock.
+// --json writes a machine-readable timing report with one row per measured
+// pipeline cell plus one registry-snapshot row per dataset. The registry is
+// reset between datasets so each snapshot covers exactly one section.
 
 #include "bench_util.h"
 
@@ -62,6 +67,9 @@ int main(int argc, char** argv) {
     const GroundTruth& gt = entry.data.ground_truth;
     std::printf("--- %s (%zu pts, %zu feats) ---\n", entry.data.name.c_str(),
                 data.num_points(), data.num_features());
+    // Scope the registry's histograms to this dataset section (testbed
+    // construction above also fed detect.score/gt.search).
+    MetricsRegistry::Global().Reset();
 
     TextTable table;
     std::vector<std::string> header = {"pipeline"};
@@ -148,10 +156,16 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", table.Render().c_str());
     bench::PrintServiceStats(services);
+    const std::string metrics_json = MetricsRegistry::Global().ToJson();
     if (print_stats_json) {
       std::printf("stats json: %s\n",
                   bench::ServiceStatsJson(services).c_str());
+      std::printf("metrics json: %s\n", metrics_json.c_str());
     }
+    report.AddRow(JsonObject()
+                      .Add("dataset", entry.data.name)
+                      .Add("kind", "metrics")
+                      .AddRaw("metrics", metrics_json));
     std::printf("\n");
   }
 

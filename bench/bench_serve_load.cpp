@@ -38,20 +38,13 @@ struct ClientResult {
   std::uint64_t ok = 0;
   std::uint64_t busy_gave_up = 0;
   std::uint64_t errors = 0;
-  std::uint64_t busy_retries = 0;
+  ClientStatsSnapshot stats;  // Retries/reconnects/backoff of this client.
 };
 
 int IntFlag(int argc, char** argv, const char* flag, int fallback) {
   const std::string value = bench::FlagValue(argc, argv, flag);
   return value.empty() ? fallback : static_cast<int>(std::strtol(
                                         value.c_str(), nullptr, 10));
-}
-
-double Percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const std::size_t idx = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
 }
 
 /// One client thread's life: connect, fire the mixed workload, record
@@ -105,7 +98,7 @@ ClientResult RunClient(const LoadConfig& config, std::uint16_t port,
         break;
     }
   }
-  result.busy_retries = client.busy_replies_seen();
+  result.stats = client.stats();
   return result;
 }
 
@@ -177,18 +170,18 @@ int main(int argc, char** argv) {
   server.Stop();
 
   std::vector<double> latencies;
-  std::uint64_t ok = 0, busy_gave_up = 0, errors = 0, busy_retries = 0;
+  std::uint64_t ok = 0, busy_gave_up = 0, errors = 0;
+  ClientStatsSnapshot client_stats;
   for (const ClientResult& r : results) {
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
                      r.latencies_ms.end());
     ok += r.ok;
     busy_gave_up += r.busy_gave_up;
     errors += r.errors;
-    busy_retries += r.busy_retries;
+    client_stats.Merge(r.stats);
   }
-  std::sort(latencies.begin(), latencies.end());
-  const double p50 = Percentile(latencies, 0.50);
-  const double p99 = Percentile(latencies, 0.99);
+  const double p50 = bench::Percentile(latencies, 0.50);
+  const double p99 = bench::Percentile(latencies, 0.99);
   const double throughput =
       wall_seconds > 0.0 ? static_cast<double>(ok) / wall_seconds : 0.0;
   const std::uint64_t offered = stats.requests_admitted +
@@ -207,13 +200,18 @@ int main(int argc, char** argv) {
   table.AddRow({"busy rejections (server)",
                 std::to_string(stats.busy_rejections)});
   table.AddRow({"busy-rejection rate", FormatDouble(busy_rate)});
-  table.AddRow({"busy retries absorbed", std::to_string(busy_retries)});
+  table.AddRow({"busy retries absorbed",
+                std::to_string(client_stats.busy_retries)});
   table.AddRow({"gave up busy", std::to_string(busy_gave_up)});
   table.AddRow({"transport/server errors", std::to_string(errors)});
+  table.AddRow({"client backoff total",
+                FormatSeconds(client_stats.BackoffSeconds())});
   table.AddRow({"wall time", FormatSeconds(wall_seconds)});
   std::printf("%s\n", table.Render().c_str());
   std::printf("server stats: %s\n", stats.ToJson().c_str());
   std::printf("service stats: %s\n", service.stats().ToJson().c_str());
+  std::printf("client stats: %s\n", client_stats.ToJson().c_str());
+  std::printf("metrics: %s\n", MetricsRegistry::Global().ToJson().c_str());
 
   if (!config.json_path.empty()) {
     bench::JsonTimingReport report;
@@ -232,12 +230,14 @@ int main(int argc, char** argv) {
                       .Add("latency_p99_ms", p99)
                       .Add("busy_rejections", stats.busy_rejections)
                       .Add("busy_rejection_rate", busy_rate)
-                      .Add("busy_retries_absorbed", busy_retries)
+                      .Add("busy_retries_absorbed", client_stats.busy_retries)
                       .Add("gave_up_busy", busy_gave_up)
                       .Add("errors", errors)
                       .Add("wall_seconds", wall_seconds)
                       .AddRaw("server", stats.ToJson())
-                      .AddRaw("service", service.stats().ToJson()));
+                      .AddRaw("service", service.stats().ToJson())
+                      .AddRaw("client", client_stats.ToJson())
+                      .AddRaw("metrics", MetricsRegistry::Global().ToJson()));
     report.WriteTo(config.json_path);
   }
   return errors == 0 ? 0 : 1;

@@ -6,6 +6,7 @@
 // paper itself skipped configurations requiring millions of subspace
 // evaluations; the quick profile skips proportionally earlier).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -16,6 +17,20 @@
 #include "subex/subex.h"
 
 namespace subex::bench {
+
+/// The `q`-quantile (q in [0, 1]) of `values` by the nearest-rank rule the
+/// load benches report: sorts `values` in place and indexes
+/// round(q * (n - 1)). Edge cases: n = 0 returns 0.0, n = 1 returns the
+/// single sample regardless of q.
+inline double Percentile(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  if (values.size() == 1) return values.front();
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const std::size_t index = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
 
 /// True when `flag` (e.g. "--stats") appears anywhere in argv.
 inline bool HasFlag(int argc, char** argv, const char* flag) {

@@ -11,7 +11,10 @@
 // This example starts a server on an ephemeral loopback port, connects an
 // `ExplainClient`, round-trips a score, an explanation, and the stats
 // document, checks the wire results against direct in-process calls
-// (bitwise equality), and shuts down gracefully.
+// (bitwise equality), and shuts down gracefully. Each phase runs under an
+// `obs` TraceSpan, so the run ends with a stage breakdown plus the
+// process-wide metrics registry (the same JSON `kStats` serves, including
+// the serve.request/detect.score latency histograms).
 //
 // Run: ./explain_server
 
@@ -22,11 +25,17 @@
 int main() {
   using namespace subex;
 
+  // Collects one (stage, elapsed) entry per finished span below — the
+  // per-request breakdown shape servers attach to slow-request logs.
+  Trace trace;
+
+  TraceSpan generate_span(nullptr, &trace, "generate_dataset");
   HicsGeneratorConfig config;
   config.num_points = 300;
   config.subspace_dims = {2, 3, 3};  // 8 features total.
   config.seed = 7;
   const SyntheticDataset example = GenerateHicsDataset(config);
+  generate_span.Stop();
   const Dataset& data = example.dataset;
   std::printf("dataset: %zu points x %zu features, %zu outliers\n",
               data.num_points(), data.num_features(),
@@ -56,8 +65,10 @@ int main() {
 
   // kScore: one subspace's standardized scores, bitwise-identical to the
   // direct call (doubles cross the wire as raw IEEE-754 bits).
+  TraceSpan score_span(nullptr, &trace, "score_round_trip");
   const Subspace subspace({0, 1});
   const ExplainClient::ScoreReply score = client.Score("LOF", subspace);
+  score_span.Stop();
   const std::vector<double> direct = ScoreStandardized(lof, data, subspace);
   std::printf("kScore %s: %zu scores, %s direct computation\n",
               subspace.ToString().c_str(), score.scores.size(),
@@ -65,9 +76,11 @@ int main() {
                                                    : "MISMATCH vs");
 
   // kExplain: ranked explaining subspaces of the first planted outlier.
+  TraceSpan explain_span(nullptr, &trace, "explain_round_trip");
   const int point = data.outlier_indices().front();
   const ExplainClient::ExplainReply explained =
       client.Explain("LOF", "Beam", point, /*target_dim=*/2);
+  explain_span.Stop();
   const RankedSubspaces local = beam.Explain(data, lof, point, 2);
   std::printf("kExplain point %d: top subspace %s (%s in-process Beam)\n",
               point,
@@ -78,9 +91,11 @@ int main() {
                   ? "same ranking as"
                   : "MISMATCH vs");
 
-  // kStats: server counters plus every registered service's cache stats.
+  // kStats: server counters, every registered service's cache stats, and
+  // the metrics registry (latency histograms with p50/p90/p99 per stage).
   const ExplainClient::StatsReply stats = client.Stats();
   std::printf("kStats: %s\n\n", stats.json.c_str());
+  std::printf("trace (stage -> ms): %s\n\n", trace.ToJson().c_str());
 
   client.Disconnect();
   server.Stop();  // Graceful: drains in-flight work, flushes responses.

@@ -6,6 +6,8 @@
 #include <span>
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "subspace/enumeration.h"
 
 namespace subex {
@@ -20,9 +22,12 @@ GroundTruth BuildGroundTruthByExhaustiveSearch(
   const std::vector<int>& outliers = data.outlier_indices();
   SUBEX_CHECK_MSG(!outliers.empty(), "dataset has no points of interest");
 
+  Histogram& sweep_histogram =
+      MetricsRegistry::Global().GetHistogram("gt.search");
   GroundTruth ground_truth;
   const int d = static_cast<int>(data.num_features());
   for (int dim = options.min_dim; dim <= options.max_dim; ++dim) {
+    TraceSpan sweep(&sweep_histogram);  // One span per dimension sweep.
     const std::vector<Subspace> candidates = EnumerateSubspaces(d, dim);
     std::vector<double> best_score(
         outliers.size(), -std::numeric_limits<double>::infinity());
@@ -71,9 +76,12 @@ GroundTruth BuildGroundTruthByExhaustiveSearch(
   // sweeps reach tens of thousands of candidates on the 30d datasets.
   constexpr std::size_t kChunk = 512;
 
+  Histogram& sweep_histogram =
+      MetricsRegistry::Global().GetHistogram("gt.search");
   GroundTruth ground_truth;
   const int d = static_cast<int>(data.num_features());
   for (int dim = options.min_dim; dim <= options.max_dim; ++dim) {
+    TraceSpan sweep(&sweep_histogram);  // One span per dimension sweep.
     const std::vector<Subspace> candidates = EnumerateSubspaces(d, dim);
     std::vector<double> best_score(
         outliers.size(), -std::numeric_limits<double>::infinity());

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "core/metrics.h"
+#include "obs/registry.h"
 
 namespace subex {
 namespace {
@@ -29,6 +30,24 @@ std::vector<int> SelectPoints(const GroundTruth& ground_truth, int dim,
   return points;
 }
 
+/// The aggregate + per-algorithm histogram pair every pipeline stage feeds,
+/// e.g. (`explain.search`, `explain.search.Beam`).
+struct StageHistograms {
+  StageHistograms(const std::string& stage, const std::string& algorithm)
+      : aggregate(&MetricsRegistry::Global().GetHistogram(stage)),
+        per_algorithm(
+            &MetricsRegistry::Global().GetHistogram(stage + "." + algorithm)) {
+  }
+
+  void Record(std::uint64_t ns) {
+    aggregate->Record(ns);
+    per_algorithm->Record(ns);
+  }
+
+  Histogram* aggregate;
+  Histogram* per_algorithm;
+};
+
 }  // namespace
 
 PipelineResult RunPointExplanationPipeline(
@@ -44,10 +63,14 @@ PipelineResult RunPointExplanationPipeline(
   const std::vector<int> points = SelectPoints(ground_truth, explanation_dim,
                                                options);
   ExplanationScorer scorer;
+  StageHistograms search("explain.search", explainer.name());
   const auto start = Clock::now();
   for (int p : points) {
+    const auto point_start = Clock::now();
     const RankedSubspaces ranked =
         explainer.Explain(data, detector, p, explanation_dim);
+    search.Record(static_cast<std::uint64_t>(
+        SecondsSince(point_start) * 1e9));
     scorer.AddPoint(ranked.subspaces, at_dim.RelevantFor(p));
   }
   result.seconds = SecondsSince(start);
@@ -77,9 +100,13 @@ PipelineResult RunPointExplanationPipeline(
   // not mutate shared state), then score sequentially in point order so the
   // result is identical to the sequential pipeline.
   std::vector<RankedSubspaces> ranked(points.size());
+  StageHistograms search("explain.search", explainer.name());
   const auto start = Clock::now();
   auto explain_one = [&](std::size_t i) {
+    const auto point_start = Clock::now();
     ranked[i] = explainer.Explain(data, detector, points[i], explanation_dim);
+    search.Record(
+        static_cast<std::uint64_t>(SecondsSince(point_start) * 1e9));
   };
   ThreadPool* pool = service.pool();
   if (pool != nullptr && pool->num_threads() > 1) {
@@ -122,10 +149,12 @@ PipelineResult RunSummarizationPipeline(
   const std::vector<int>& all_points = data.outlier_indices();
   SUBEX_CHECK_MSG(!all_points.empty(), "dataset has no points of interest");
 
+  StageHistograms search("explain.summarize", summarizer.name());
   const auto start = Clock::now();
   const RankedSubspaces summary =
       summarizer.Summarize(data, detector, all_points, explanation_dim);
   result.seconds = SecondsSince(start);
+  search.Record(static_cast<std::uint64_t>(result.seconds * 1e9));
 
   const GroundTruth at_dim = ground_truth.FilterByDimension(explanation_dim);
   const std::vector<int> points = SelectPoints(ground_truth, explanation_dim,

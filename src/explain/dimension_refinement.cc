@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace subex {
 
@@ -29,6 +31,7 @@ RankedSubspaces RefineByDimensionalGain(
     const RankedSubspaces& candidates,
     const DimensionRefinementOptions& options) {
   SUBEX_CHECK(options.max_candidates >= 1);
+  TraceSpan refine(&MetricsRegistry::Global().GetHistogram("explain.refine"));
   const std::size_t head = std::min<std::size_t>(options.max_candidates,
                                                  candidates.size());
   RankedSubspaces refined;

@@ -4,7 +4,27 @@
 #include <chrono>
 #include <thread>
 
+#include "common/json.h"
+
 namespace subex {
+
+void ClientStatsSnapshot::Merge(const ClientStatsSnapshot& other) {
+  requests += other.requests;
+  busy_retries += other.busy_retries;
+  reconnects += other.reconnects;
+  transport_errors += other.transport_errors;
+  backoff_ns += other.backoff_ns;
+}
+
+std::string ClientStatsSnapshot::ToJson() const {
+  return JsonObject()
+      .Add("requests", requests)
+      .Add("busy_retries", busy_retries)
+      .Add("reconnects", reconnects)
+      .Add("transport_errors", transport_errors)
+      .Add("backoff_seconds", BackoffSeconds())
+      .Build();
+}
 
 ExplainClient::ExplainClient(const ExplainClientOptions& options)
     : options_(options), decoder_(options.max_frame_bytes) {}
@@ -13,7 +33,18 @@ bool ExplainClient::Connect(const std::string& host, std::uint16_t port,
                             std::string* error) {
   Disconnect();
   socket_ = ConnectTcp(host, port, options_.connect_timeout_ms, error);
+  if (socket_.valid()) ++connects_;
   return socket_.valid();
+}
+
+ClientStatsSnapshot ExplainClient::stats() const {
+  ClientStatsSnapshot snap;
+  snap.requests = requests_;
+  snap.busy_retries = busy_replies_seen_;
+  snap.reconnects = connects_ > 0 ? connects_ - 1 : 0;
+  snap.transport_errors = transport_errors_;
+  snap.backoff_ns = backoff_ns_;
+  return snap;
 }
 
 void ExplainClient::Disconnect() {
@@ -90,14 +121,21 @@ ClientStatus ExplainClient::RoundTrip(const std::vector<std::uint8_t>& request,
                                       MessageType* type,
                                       std::vector<std::uint8_t>* body,
                                       std::string* error) {
+  ++requests_;
   int backoff_ms = options_.busy_backoff_initial_ms;
   for (int attempt = 0; attempt <= options_.max_busy_retries; ++attempt) {
     if (attempt > 0) {
+      const auto sleep_start = std::chrono::steady_clock::now();
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ns_ += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - sleep_start)
+              .count());
       backoff_ms = std::min(backoff_ms * 2, options_.busy_backoff_max_ms);
     }
     MessageHeader header;
     if (!SendAndReceive(request, request_id, &header, body, error)) {
+      ++transport_errors_;
       return ClientStatus::kTransportError;
     }
     if (header.type == MessageType::kBusy) {

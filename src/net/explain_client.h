@@ -21,6 +21,26 @@ enum class ClientStatus {
   kTransportError,  ///< Socket/framing failure; the connection is dead.
 };
 
+/// Point-in-time view of one client's transport counters — makes the
+/// otherwise-invisible `kBusy` absorption loop observable (how many
+/// backpressure bounces, how long the backoff sleeps added up to, whether
+/// the connection had to be re-established).
+struct ClientStatsSnapshot {
+  std::uint64_t requests = 0;       ///< Round trips attempted.
+  std::uint64_t busy_retries = 0;   ///< `kBusy` replies absorbed by retry.
+  std::uint64_t reconnects = 0;     ///< Successful `Connect`s after the first.
+  std::uint64_t transport_errors = 0;  ///< Socket/framing failures.
+  std::uint64_t backoff_ns = 0;     ///< Cumulative busy-backoff sleep time.
+
+  double BackoffSeconds() const {
+    return static_cast<double>(backoff_ns) * 1e-9;
+  }
+  /// Element-wise accumulation (e.g. across one client per load thread).
+  void Merge(const ClientStatsSnapshot& other);
+  /// `{"requests":N,...,"backoff_seconds":...}` for bench reports.
+  std::string ToJson() const;
+};
+
 /// Knobs of an `ExplainClient`.
 struct ExplainClientOptions {
   int connect_timeout_ms = 5000;
@@ -81,6 +101,9 @@ class ExplainClient {
   /// Total `kBusy` replies absorbed by the retry loop (load-test metric).
   std::uint64_t busy_replies_seen() const { return busy_replies_seen_; }
 
+  /// Counter snapshot (retries/reconnects/backoff/transport errors).
+  ClientStatsSnapshot stats() const;
+
   const ExplainClientOptions& options() const { return options_; }
 
  private:
@@ -100,6 +123,11 @@ class ExplainClient {
   FrameDecoder decoder_;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t busy_replies_seen_ = 0;
+  // Plain counters (the client is single-threaded by contract).
+  std::uint64_t requests_ = 0;
+  std::uint64_t connects_ = 0;
+  std::uint64_t transport_errors_ = 0;
+  std::uint64_t backoff_ns_ = 0;
 };
 
 }  // namespace subex

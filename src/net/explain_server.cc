@@ -14,10 +14,23 @@
 #include <vector>
 
 #include "common/json.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace subex {
 
 using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::uint64_t NsSince(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+}  // namespace
 
 std::string ServerStatsSnapshot::ToJson() const {
   return JsonObject()
@@ -55,7 +68,24 @@ struct ExplainServer::Connection {
 
 ExplainServer::ExplainServer(const ExplainServerOptions& options,
                              ThreadPool* pool)
-    : options_(options), pool_(pool) {}
+    : options_(options),
+      pool_(pool),
+      request_histogram_(
+          &MetricsRegistry::Global().GetHistogram("serve.request")),
+      queue_wait_histogram_(
+          &MetricsRegistry::Global().GetHistogram("serve.queue_wait")),
+      write_histogram_(&MetricsRegistry::Global().GetHistogram("net.write")),
+      score_request_histogram_(
+          &MetricsRegistry::Global().GetHistogram("serve.request.score")),
+      explain_request_histogram_(
+          &MetricsRegistry::Global().GetHistogram("serve.request.explain")),
+      stats_request_histogram_(
+          &MetricsRegistry::Global().GetHistogram("serve.request.stats")),
+      bytes_received_(
+          &MetricsRegistry::Global().GetCounter("net.bytes_received")),
+      bytes_sent_(&MetricsRegistry::Global().GetCounter("net.bytes_sent")),
+      connections_gauge_(
+          &MetricsRegistry::Global().GetGauge("serve.connections")) {}
 
 ExplainServer::~ExplainServer() { Stop(); }
 
@@ -246,6 +276,7 @@ void ExplainServer::AcceptNewConnections() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_gauge_->Add(1);
     connections_.emplace(fd, std::make_shared<Connection>(
                                  std::move(socket), options_.max_frame_bytes));
   }
@@ -257,6 +288,7 @@ bool ExplainServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
     const ssize_t n = ::recv(conn->socket.fd(), buf, sizeof(buf), 0);
     if (n > 0) {
       conn->last_progress = Clock::now();
+      bytes_received_->Increment(static_cast<std::uint64_t>(n));
       conn->decoder.Feed(buf, static_cast<std::size_t>(n));
       if (static_cast<std::size_t>(n) < sizeof(buf)) break;
     } else if (n == 0) {
@@ -284,6 +316,7 @@ bool ExplainServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
 
 bool ExplainServer::HandleWritable(const std::shared_ptr<Connection>& conn) {
   std::lock_guard<std::mutex> lock(conn->mutex);
+  TraceSpan flush(conn->write_queue.empty() ? nullptr : write_histogram_);
   while (!conn->write_queue.empty()) {
     const std::vector<std::uint8_t>& front = conn->write_queue.front();
     const ssize_t n =
@@ -295,6 +328,7 @@ bool ExplainServer::HandleWritable(const std::shared_ptr<Connection>& conn) {
       return false;
     }
     conn->last_progress = Clock::now();
+    bytes_sent_->Increment(static_cast<std::uint64_t>(n));
     conn->write_offset += static_cast<std::size_t>(n);
     if (conn->write_offset == front.size()) {
       conn->write_queue.pop_front();
@@ -333,19 +367,23 @@ void ExplainServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
                                              std::memory_order_relaxed));
   requests_admitted_.fetch_add(1, std::memory_order_relaxed);
   conn->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  const Clock::time_point admitted = Clock::now();
 
   if (pool_ != nullptr) {
-    pool_->Submit([this, conn, header, body = std::move(payload)]() mutable {
-      HandleRequest(conn, header, std::move(body));
-    });
+    pool_->Submit(
+        [this, conn, header, admitted, body = std::move(payload)]() mutable {
+          HandleRequest(conn, header, std::move(body), admitted);
+        });
   } else {
-    HandleRequest(conn, header, std::move(payload));
+    HandleRequest(conn, header, std::move(payload), admitted);
   }
 }
 
 void ExplainServer::HandleRequest(const std::shared_ptr<Connection>& conn,
                                   MessageHeader header,
-                                  std::vector<std::uint8_t> payload) {
+                                  std::vector<std::uint8_t> payload,
+                                  Clock::time_point admitted) {
+  queue_wait_histogram_->Record(NsSince(admitted));
   WireReader reader(payload.data() + kMessageHeaderBytes,
                     payload.size() - kMessageHeaderBytes);
   std::vector<std::uint8_t> response;
@@ -356,6 +394,21 @@ void ExplainServer::HandleRequest(const std::shared_ptr<Connection>& conn,
                            std::string("handler exception: ") + e.what());
   }
   EnqueueResponse(conn, std::move(response));
+  const std::uint64_t end_to_end_ns = NsSince(admitted);
+  request_histogram_->Record(end_to_end_ns);
+  switch (header.type) {
+    case MessageType::kScore:
+      score_request_histogram_->Record(end_to_end_ns);
+      break;
+    case MessageType::kExplain:
+      explain_request_histogram_->Record(end_to_end_ns);
+      break;
+    case MessageType::kStats:
+      stats_request_histogram_->Record(end_to_end_ns);
+      break;
+    default:
+      break;
+  }
   conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
   in_flight_.fetch_sub(1, std::memory_order_release);
   Wake();
@@ -454,6 +507,7 @@ std::vector<std::uint8_t> ExplainServer::HandleStats(std::uint64_t request_id) {
   result.text = JsonObject()
                     .AddRaw("server", stats().ToJson())
                     .AddRaw("services", services.Build())
+                    .AddRaw("metrics", MetricsRegistry::Global().ToJson())
                     .Build();
   return EncodeStatsResult(request_id, result);
 }
@@ -480,6 +534,7 @@ void ExplainServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
   conn->socket.Close();
   connections_.erase(fd);
   connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  connections_gauge_->Add(-1);
 }
 
 }  // namespace subex

@@ -2,6 +2,7 @@
 #define SUBEX_NET_EXPLAIN_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -14,6 +15,7 @@
 #include "net/frame.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "serve/scoring_service.h"
 
 namespace subex {
@@ -131,8 +133,12 @@ class ExplainServer {
   void DispatchFrame(const std::shared_ptr<Connection>& conn,
                      std::vector<std::uint8_t> payload);
   /// Runs on the pool: decodes the body, computes, enqueues the response.
+  /// `admitted` is the admission instant — queue wait (admission to start
+  /// of compute) and end-to-end latency (admission to response enqueued)
+  /// both measure from it.
   void HandleRequest(const std::shared_ptr<Connection>& conn,
-                     MessageHeader header, std::vector<std::uint8_t> payload);
+                     MessageHeader header, std::vector<std::uint8_t> payload,
+                     std::chrono::steady_clock::time_point admitted);
   std::vector<std::uint8_t> ComputeResponse(const MessageHeader& header,
                                             WireReader& reader);
   std::vector<std::uint8_t> HandleScore(std::uint64_t request_id,
@@ -162,6 +168,18 @@ class ExplainServer {
 
   /// Admitted-but-unfinished requests (the bounded queue's fill level).
   std::atomic<std::size_t> in_flight_{0};
+
+  // Global-registry instruments (looked up once here, recorded lock-free
+  // on the request path; the kStats endpoint serves the whole registry).
+  Histogram* request_histogram_;     ///< serve.request (admit -> enqueued).
+  Histogram* queue_wait_histogram_;  ///< serve.queue_wait (admit -> start).
+  Histogram* write_histogram_;       ///< net.write (one flush pass).
+  Histogram* score_request_histogram_;    ///< serve.request.score.
+  Histogram* explain_request_histogram_;  ///< serve.request.explain.
+  Histogram* stats_request_histogram_;    ///< serve.request.stats.
+  Counter* bytes_received_;          ///< net.bytes_received.
+  Counter* bytes_sent_;              ///< net.bytes_sent.
+  Gauge* connections_gauge_;         ///< serve.connections (open right now).
 
   // Counters (relaxed atomics; see ServiceStats for the precedent).
   std::atomic<std::uint64_t> connections_accepted_{0};

@@ -1,0 +1,84 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json.h"
+
+namespace subex {
+namespace {
+
+constexpr double kNsPerMs = 1e6;
+
+/// Midpoint of a bucket — the representative value percentile extraction
+/// reports for every sample that landed in it.
+double BucketMidpoint(std::size_t index) {
+  return static_cast<double>(Histogram::BucketLowerBound(index)) +
+         static_cast<double>(Histogram::BucketWidth(index) - 1) / 2.0;
+}
+
+}  // namespace
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (counts.size() < other.counts.size()) {
+    counts.resize(other.counts.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+double HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      // Never report beyond the observed maximum (the top bucket's midpoint
+      // can overshoot it).
+      return std::min(BucketMidpoint(i), static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+std::string HistogramSnapshot::ToJson() const {
+  return JsonObject()
+      .Add("count", count)
+      .Add("mean_ms", MeanNs() / kNsPerMs)
+      .Add("p50_ms", ValueAtQuantile(0.50) / kNsPerMs)
+      .Add("p90_ms", ValueAtQuantile(0.90) / kNsPerMs)
+      .Add("p99_ms", ValueAtQuantile(0.99) / kNsPerMs)
+      .Add("max_ms", static_cast<double>(max) / kNsPerMs)
+      .Build();
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.counts.resize(kNumBuckets);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    snap.counts[i] = c;
+    snap.count += c;
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (std::atomic<std::uint64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace subex

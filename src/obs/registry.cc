@@ -1,0 +1,62 @@
+#include "obs/registry.h"
+
+#include "common/json.h"
+
+namespace subex {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Never dies:
+  // instrumented objects may record during static destruction.
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonObject counters;
+  for (const auto& [name, counter] : counters_) {
+    counters.Add(name, counter->value());
+  }
+  JsonObject gauges;
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.Add(name, static_cast<double>(gauge->value()));
+  }
+  JsonObject histograms;
+  for (const auto& [name, histogram] : histograms_) {
+    histograms.AddRaw(name, histogram->snapshot().ToJson());
+  }
+  return JsonObject()
+      .AddRaw("counters", counters.Build())
+      .AddRaw("gauges", gauges.Build())
+      .AddRaw("histograms", histograms.Build())
+      .Build();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace subex

@@ -1,0 +1,52 @@
+#ifndef SUBEX_OBS_REGISTRY_H_
+#define SUBEX_OBS_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace subex {
+
+/// Named home of every counter/gauge/histogram in the process. `Get*` is a
+/// find-or-create behind one mutex — callers look an instrument up once
+/// (at construction, per bench phase) and keep the reference; instruments
+/// have stable addresses for the registry's lifetime and recording into
+/// them never touches the registry again.
+///
+/// Production code shares `Global()`; tests that want isolation construct
+/// their own instance. Naming convention: dot-separated
+/// `<layer>.<operation>[.<instance>]`, e.g. `serve.request`,
+/// `detect.score.LOF` — the flat names keep the `kStats` JSON greppable.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every built-in instrumentation point uses.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// `{"counters":{...},"gauges":{...},"histograms":{name:{...}}}` with
+  /// names in lexicographic order (deterministic output for tests and
+  /// diffable bench reports). Histograms render their snapshot JSON.
+  std::string ToJson() const;
+
+  /// Zeroes every registered instrument, keeping registrations (and thus
+  /// the references callers hold) intact — e.g. between benchmark phases.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  // Node-based maps: values never move, so handed-out references stay
+  // valid across later registrations.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_OBS_REGISTRY_H_

@@ -1,0 +1,21 @@
+#include "obs/trace.h"
+
+#include "common/json.h"
+
+namespace subex {
+
+std::uint64_t Trace::TotalNs() const {
+  std::uint64_t total = 0;
+  for (const auto& [stage, ns] : stages_) total += ns;
+  return total;
+}
+
+std::string Trace::ToJson() const {
+  JsonObject object;
+  for (const auto& [stage, ns] : stages_) {
+    object.Add(stage, static_cast<double>(ns) / 1e6);
+  }
+  return object.Build();
+}
+
+}  // namespace subex

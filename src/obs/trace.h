@@ -1,0 +1,102 @@
+#ifndef SUBEX_OBS_TRACE_H_
+#define SUBEX_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace subex {
+
+/// Ordered per-request (or per-run) stage breakdown: each finished
+/// `TraceSpan` appends one `(stage, elapsed ns)` entry. Not thread-safe —
+/// one trace belongs to one request/thread; cross-request aggregation is
+/// the registry's histograms' job.
+class Trace {
+ public:
+  void Record(std::string stage, std::uint64_t elapsed_ns) {
+    stages_.emplace_back(std::move(stage), elapsed_ns);
+  }
+
+  const std::vector<std::pair<std::string, std::uint64_t>>& stages() const {
+    return stages_;
+  }
+  void Clear() { stages_.clear(); }
+
+  /// Sum over all recorded stages (ns).
+  std::uint64_t TotalNs() const;
+
+  /// `{"stage":ms,...}` in recording order; repeated stage names keep
+  /// their separate entries.
+  std::string ToJson() const;
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> stages_;
+};
+
+/// RAII stage timer: reads the clock at construction and, at destruction
+/// (or an explicit `Stop`), records the elapsed nanoseconds into an
+/// optional `Histogram` (cross-request aggregate) and an optional `Trace`
+/// (this request's breakdown). With neither attached the constructor skips
+/// even the clock read, and under SUBEX_OBS_DISABLED the whole class
+/// compiles to nothing — spans can stay in the code unconditionally.
+class TraceSpan {
+ public:
+  explicit TraceSpan(Histogram* histogram, Trace* trace = nullptr,
+                     const char* stage = nullptr)
+#ifndef SUBEX_OBS_DISABLED
+      : histogram_(histogram), trace_(trace), stage_(stage) {
+    if (histogram_ != nullptr || trace_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+      armed_ = true;
+    }
+  }
+#else
+  {
+    (void)histogram;
+    (void)trace;
+    (void)stage;
+  }
+#endif
+
+  ~TraceSpan() { Stop(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span early and records; the destructor then does nothing.
+  /// Returns the elapsed nanoseconds (0 when disarmed or already stopped).
+  std::uint64_t Stop() {
+#ifndef SUBEX_OBS_DISABLED
+    if (!armed_) return 0;
+    armed_ = false;
+    const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    if (histogram_ != nullptr) histogram_->Record(elapsed_ns);
+    if (trace_ != nullptr) {
+      trace_->Record(stage_ != nullptr ? stage_ : "", elapsed_ns);
+    }
+    return elapsed_ns;
+#else
+    return 0;
+#endif
+  }
+
+ private:
+#ifndef SUBEX_OBS_DISABLED
+  Histogram* histogram_;
+  Trace* trace_;
+  const char* stage_;
+  std::chrono::steady_clock::time_point start_;
+  bool armed_ = false;
+#endif
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_OBS_TRACE_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/registry.h"
 
 namespace subex {
 namespace {
@@ -29,7 +30,10 @@ ScoringService::ScoringService(const Detector& detector, const Dataset& data,
       cache_(options.enable_cache
                  ? std::make_shared<ScoreCache>(options.cache, stats_.get())
                  : nullptr),
-      pool_(pool) {}
+      pool_(pool),
+      score_histogram_(&MetricsRegistry::Global().GetHistogram("detect.score")),
+      detector_histogram_(&MetricsRegistry::Global().GetHistogram(
+          "detect.score." + detector_name_)) {}
 
 ScoringService::ScoringService(const Detector& detector, const Dataset& data,
                                std::shared_ptr<ScoreCache> cache,
@@ -39,7 +43,10 @@ ScoringService::ScoringService(const Detector& detector, const Dataset& data,
       detector_name_(detector.name()),
       stats_(std::make_shared<ServiceStats>()),
       cache_(std::move(cache)),
-      pool_(pool) {}
+      pool_(pool),
+      score_histogram_(&MetricsRegistry::Global().GetHistogram("detect.score")),
+      detector_histogram_(&MetricsRegistry::Global().GetHistogram(
+          "detect.score." + detector_name_)) {}
 
 ScoreVectorPtr ScoringService::Score(const Subspace& subspace) {
   ScoreKey key{detector_name_, subspace};
@@ -96,7 +103,10 @@ ScoreVectorPtr ScoringService::ComputeAndPublish(
     promise.set_exception(std::current_exception());
     throw;
   }
-  stats_->RecordComputeNs(ElapsedNs(start));
+  const std::uint64_t compute_ns = ElapsedNs(start);
+  stats_->RecordComputeNs(compute_ns);
+  score_histogram_->Record(compute_ns);
+  detector_histogram_->Record(compute_ns);
   stats_->RecordMiss();
   // Publish to the cache *before* retiring the in-flight entry so a request
   // arriving in between always finds one of the two — never a gap that

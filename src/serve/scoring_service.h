@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "detect/detector.h"
+#include "obs/metrics.h"
 #include "serve/score_cache.h"
 #include "serve/service_stats.h"
 #include "subspace/subspace.h"
@@ -93,6 +94,10 @@ class ScoringService {
   std::shared_ptr<ServiceStats> stats_;
   std::shared_ptr<ScoreCache> cache_;
   ThreadPool* pool_;
+  /// Global-registry latency histograms fed per fresh computation:
+  /// `detect.score` across all detectors plus `detect.score.<name>`.
+  Histogram* score_histogram_;
+  Histogram* detector_histogram_;
 
   std::mutex inflight_mutex_;
   std::unordered_map<ScoreKey, std::shared_future<ScoreVectorPtr>,

@@ -56,6 +56,9 @@
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "serve/score_cache.h"
 #include "serve/scoring_service.h"
 #include "serve/service_stats.h"

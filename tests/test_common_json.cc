@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/json.h"
+
+namespace subex {
+namespace {
+
+std::string Escaped(std::string_view s) {
+  std::string out;
+  AppendJsonString(out, s);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// AppendJsonString escaping.
+
+TEST(JsonStringTest, PlainTextPassesThroughQuoted) {
+  EXPECT_EQ(Escaped("hello"), "\"hello\"");
+  EXPECT_EQ(Escaped(""), "\"\"");
+}
+
+TEST(JsonStringTest, QuotesAndBackslashesAreEscaped) {
+  EXPECT_EQ(Escaped("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(Escaped("a\\b"), "\"a\\\\b\"");
+  // A backslash followed by a quote must stay two separate escapes.
+  EXPECT_EQ(Escaped("\\\""), "\"\\\\\\\"\"");
+}
+
+TEST(JsonStringTest, NamedControlCharactersUseShortEscapes) {
+  EXPECT_EQ(Escaped("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(Escaped("a\rb"), "\"a\\rb\"");
+  EXPECT_EQ(Escaped("a\tb"), "\"a\\tb\"");
+}
+
+TEST(JsonStringTest, OtherControlCharactersUseUnicodeEscapes) {
+  EXPECT_EQ(Escaped(std::string_view("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(Escaped(std::string_view("\x1f", 1)), "\"\\u001f\"");
+  // NUL embedded in a string_view is a control character, not a terminator.
+  EXPECT_EQ(Escaped(std::string_view("a\0b", 3)), "\"a\\u0000b\"");
+}
+
+TEST(JsonStringTest, NonAsciiBytesPassThroughVerbatim) {
+  // UTF-8 payloads are already valid JSON string content.
+  EXPECT_EQ(Escaped("µ-sign"), "\"µ-sign\"");
+}
+
+// --------------------------------------------------------------------------
+// JsonNumber.
+
+TEST(JsonNumberTest, FiniteValuesRoundTrip) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(JsonNumber(-4.0), "-4");
+  EXPECT_EQ(JsonNumber(1e20), "1e+20");
+}
+
+TEST(JsonNumberTest, NonFiniteValuesBecomeNull) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+// --------------------------------------------------------------------------
+// JsonObject builder.
+
+TEST(JsonObjectTest, EmptyObjectIsValid) {
+  EXPECT_EQ(JsonObject().Build(), "{}");
+}
+
+TEST(JsonObjectTest, KeysKeepInsertionOrderAndTypes) {
+  const std::string json = JsonObject()
+                               .Add("name", "LOF")
+                               .Add("hits", std::uint64_t{12})
+                               .Add("rate", 0.5)
+                               .Add("enabled", true)
+                               .Build();
+  EXPECT_EQ(json,
+            "{\"name\":\"LOF\",\"hits\":12,\"rate\":0.5,\"enabled\":true}");
+}
+
+TEST(JsonObjectTest, KeysAndStringValuesAreEscaped) {
+  const std::string json =
+      JsonObject().Add("a\"b", "line\nbreak").Build();
+  EXPECT_EQ(json, "{\"a\\\"b\":\"line\\nbreak\"}");
+}
+
+TEST(JsonObjectTest, NonFiniteDoublesSerializeAsNull) {
+  const std::string json =
+      JsonObject()
+          .Add("nan", std::numeric_limits<double>::quiet_NaN())
+          .Add("inf", std::numeric_limits<double>::infinity())
+          .Build();
+  EXPECT_EQ(json, "{\"nan\":null,\"inf\":null}");
+}
+
+TEST(JsonObjectTest, AddRawNestsBuiltObjects) {
+  const std::string inner = JsonObject().Add("p50_ms", 1.25).Build();
+  const std::string middle =
+      JsonObject().AddRaw("latency", inner).Add("count", 3).Build();
+  const std::string outer =
+      JsonObject().AddRaw("metrics", middle).Build();
+  EXPECT_EQ(outer,
+            "{\"metrics\":{\"latency\":{\"p50_ms\":1.25},\"count\":3}}");
+}
+
+TEST(JsonObjectTest, AddRawAcceptsArraysAndScalars) {
+  const std::string json = JsonObject()
+                               .AddRaw("rows", "[1,2,3]")
+                               .AddRaw("null_field", "null")
+                               .Build();
+  EXPECT_EQ(json, "{\"rows\":[1,2,3],\"null_field\":null}");
+}
+
+}  // namespace
+}  // namespace subex

@@ -168,6 +168,29 @@ TEST_F(ExplainServerTest, StatsEndpointReportsServerAndServiceCounters) {
   EXPECT_NE(reply.json.find("\"hit_rate\""), std::string::npos);
 }
 
+#ifndef SUBEX_OBS_DISABLED
+TEST_F(ExplainServerTest, StatsEndpointCarriesLatencyHistograms) {
+  StartServer();
+  ExplainClient client = MakeClient();
+  // The score round trip feeds serve.request (end-to-end, recorded by the
+  // server) and detect.score (compute time, recorded by the service).
+  ASSERT_TRUE(client.Score("LOF", Subspace({0, 1})).ok());
+  const ExplainClient::StatsReply reply = client.Stats();
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_NE(reply.json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"serve.request\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"serve.queue_wait\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"detect.score\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"p50_ms\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"p90_ms\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"p99_ms\""), std::string::npos);
+  // Byte counters and the connection gauge ride along in the registry.
+  EXPECT_NE(reply.json.find("\"net.bytes_received\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"serve.connections\""), std::string::npos);
+}
+#endif  // SUBEX_OBS_DISABLED
+
 TEST_F(ExplainServerTest, InvalidRequestsGetErrorRepliesNotDisconnects) {
   StartServer();
   ExplainClient client = MakeClient();
