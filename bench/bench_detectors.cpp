@@ -4,10 +4,15 @@
 // seconds approximately", i.e. the ordering LOF < iForest < FastABOD.
 //
 // Uses google-benchmark. Run with --benchmark_filter=... as usual; dataset
-// size is parameterized via the benchmark Range argument.
+// size is parameterized via the benchmark Range argument. `--json <path>`
+// additionally writes the runs in the repo's JsonTimingReport shape (the
+// same format every other bench emits), so CI can archive detector timings
+// alongside the figure benches without parsing google-benchmark's own
+// console or JSON output.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "subex/subex.h"
 
 namespace {
@@ -89,6 +94,58 @@ BENCHMARK(BM_LofByDim)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(
     benchmark::kMillisecond);
 BENCHMARK(BM_HicsContrast)->Arg(1000)->Unit(benchmark::kMillisecond);
 
+// Console reporter that additionally captures every measured run into a
+// JsonTimingReport row (name, iterations, per-iteration real/cpu ms).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      JsonObject row;
+      row.Add("name", run.benchmark_name())
+          .Add("iterations", static_cast<std::uint64_t>(run.iterations))
+          .Add("real_ms", run.real_accumulated_time / iters * 1e3)
+          .Add("cpu_ms", run.cpu_accumulated_time / iters * 1e3);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        row.Add("items_per_second", static_cast<double>(items->second));
+      }
+      report.AddRow(row);
+    }
+  }
+
+  bench::JsonTimingReport report;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull out `--json <path>` before benchmark::Initialize sees (and
+  // rejects) it as an unrecognized flag.
+  const std::string json_path = bench::FlagValue(argc, argv, "--json");
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const bool is_json_flag = std::strcmp(argv[i], "--json") == 0;
+    if (is_json_flag) {
+      if (i + 1 < argc) ++i;  // Skip the path operand too.
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  reporter.report.SetMeta(JsonObject().Add("bench", "detectors"));
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) reporter.report.WriteTo(json_path);
+  return 0;
+}

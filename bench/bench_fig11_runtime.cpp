@@ -27,6 +27,8 @@
 // endpoint returns): detect.score.<detector> and explain.search.<explainer>
 // latency histograms give the figure's runtime a per-stage breakdown —
 // detector scoring vs explainer search — beyond the per-cell wall clock.
+// The eviction-manager snapshot rides along, showing how much of the
+// process-wide budget the service score caches held per dataset.
 // --json writes a machine-readable timing report with one row per measured
 // pipeline cell plus one registry-snapshot row per dataset. The registry is
 // reset between datasets so each snapshot covers exactly one section.
@@ -157,15 +159,18 @@ int main(int argc, char** argv) {
     std::printf("%s\n", table.Render().c_str());
     bench::PrintServiceStats(services);
     const std::string metrics_json = MetricsRegistry::Global().ToJson();
+    const std::string mem_json = EvictionManager::Global().snapshot().ToJson();
     if (print_stats_json) {
       std::printf("stats json: %s\n",
                   bench::ServiceStatsJson(services).c_str());
       std::printf("metrics json: %s\n", metrics_json.c_str());
+      std::printf("mem json: %s\n", mem_json.c_str());
     }
     report.AddRow(JsonObject()
                       .Add("dataset", entry.data.name)
                       .Add("kind", "metrics")
-                      .AddRaw("metrics", metrics_json));
+                      .AddRaw("metrics", metrics_json)
+                      .AddRaw("mem", mem_json));
     std::printf("\n");
   }
 

@@ -11,6 +11,7 @@
 #include "explain/hics.h"
 #include "explain/lookout.h"
 #include "explain/refout.h"
+#include "mem/eviction_manager.h"
 
 namespace subex {
 
@@ -80,6 +81,11 @@ ScoringServiceOptions MakeServiceOptions(const TestbedProfile& profile) {
   options.enable_cache = profile.cache_scores;
   options.cache.max_entries = profile.cache_max_entries;
   options.cache.max_bytes = profile.cache_max_bytes;
+  // Service caches share the process-wide budget with chunked datasets and
+  // any other governed cache, so memory pressure anywhere evicts the
+  // globally coldest score vectors rather than failing locally.
+  options.cache.manager = &EvictionManager::Global();
+  options.cache.name = "service_score_cache";
   return options;
 }
 

@@ -1,0 +1,151 @@
+#include "data/chunked_dataset.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace subex {
+
+ChunkedDataset::OpenResult ChunkedDataset::Open(
+    const std::string& path, const ChunkedDatasetOptions& options) {
+  OpenResult result;
+  auto open = ColumnarFile::Open(path);
+  if (!open.ok) {
+    result.error = std::move(open.error);
+    return result;
+  }
+  result.dataset = std::unique_ptr<ChunkedDataset>(
+      new ChunkedDataset(std::move(open.file), options));
+  result.ok = true;
+  return result;
+}
+
+ChunkedDataset::ChunkedDataset(std::unique_ptr<ColumnarFile> file,
+                               const ChunkedDatasetOptions& options)
+    : file_(std::move(file)),
+      manager_(options.manager != nullptr ? options.manager
+                                          : &EvictionManager::Global()),
+      slots_(file_->num_cols() * file_->num_blocks()) {
+  cache_id_ = manager_->Register(options.name, options.quota_bytes, this);
+}
+
+ChunkedDataset::~ChunkedDataset() {
+  // Every Pinned handle must be released before destruction — a live pin
+  // would dereference freed slots. Loads cannot be in flight either, for
+  // the same reason.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SUBEX_CHECK(pinned_chunks_ == 0);
+  }
+  manager_->Unregister(cache_id_);
+}
+
+Pinned<ColumnChunk> ChunkedDataset::Chunk(std::size_t col, std::size_t block) {
+  Slot& slot = SlotAt(col, block);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (slot.state == Slot::State::kLoaded) {
+        if (slot.pins == 0) {
+          lru_.Remove(&slot.node);  // Pinned slots are unevictable.
+          ++pinned_chunks_;
+          manager_->NotePin(cache_id_, slot.bytes);
+        }
+        ++slot.pins;
+        ++hits_;
+        slot.tick = manager_->NextTick();
+        return Pinned<ColumnChunk>(this, &slot, slot.value);
+      }
+      if (slot.state == Slot::State::kEmpty) {
+        slot.state = Slot::State::kLoading;  // This thread loads.
+        break;
+      }
+      load_cv_.wait(lock);  // Another thread is loading this slot.
+    }
+  }
+
+  // Load outside the lock: sibling slots stay usable during disk I/O, and
+  // Reserve may re-enter ReclaimBytes (which takes the lock) to make room.
+  const std::size_t bytes = file_->ChunkBytes(block);
+  manager_->Reserve(cache_id_, bytes, /*allow_overcommit=*/true);
+  std::shared_ptr<const ColumnChunk> chunk = file_->ReadChunk(col, block);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (chunk == nullptr) {
+    slot.state = Slot::State::kEmpty;
+    manager_->Release(cache_id_, bytes);
+    load_cv_.notify_all();
+    return Pinned<ColumnChunk>();
+  }
+  slot.node.item = &slot;
+  slot.value = std::move(chunk);
+  slot.state = Slot::State::kLoaded;
+  slot.bytes = bytes;
+  slot.pins = 1;
+  slot.tick = manager_->NextTick();
+  ++loads_;
+  ++resident_chunks_;
+  resident_bytes_ += bytes;
+  ++pinned_chunks_;
+  manager_->NotePin(cache_id_, bytes);
+  load_cv_.notify_all();
+  return Pinned<ColumnChunk>(this, &slot, slot.value);
+}
+
+void ChunkedDataset::UnpinSlot(void* slot_ptr) {
+  Slot& slot = *static_cast<Slot*>(slot_ptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  SUBEX_DCHECK(slot.pins > 0);
+  if (--slot.pins == 0) {
+    --pinned_chunks_;
+    manager_->NoteUnpin(cache_id_, slot.bytes);
+    slot.tick = manager_->NextTick();
+    lru_.PushFront(&slot.node);  // Now evictable, most recently used.
+  }
+}
+
+std::uint64_t ChunkedDataset::OldestEvictableTick() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const DListNode* tail = lru_.Tail();
+  if (tail == nullptr) return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<const Slot*>(tail->item)->tick;
+}
+
+std::size_t ChunkedDataset::ReclaimBytes(std::size_t target_bytes) {
+  std::size_t freed = 0;
+  std::uint64_t entries = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (freed < target_bytes) {
+      DListNode* tail = lru_.Tail();
+      if (tail == nullptr) break;  // Everything left is pinned or empty.
+      Slot& victim = *static_cast<Slot*>(tail->item);
+      lru_.Remove(tail);
+      victim.value.reset();  // Unmaps / frees the chunk.
+      victim.state = Slot::State::kEmpty;
+      freed += victim.bytes;
+      resident_bytes_ -= victim.bytes;
+      victim.bytes = 0;
+      --resident_chunks_;
+      ++evictions_;
+      ++entries;
+    }
+  }
+  if (freed > 0) manager_->ReleaseEvicted(cache_id_, freed, entries);
+  return freed;
+}
+
+ChunkedDatasetStats ChunkedDataset::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ChunkedDatasetStats s;
+  s.loads = loads_;
+  s.hits = hits_;
+  s.evictions = evictions_;
+  s.resident_chunks = resident_chunks_;
+  s.resident_bytes = resident_bytes_;
+  s.pinned_chunks = pinned_chunks_;
+  return s;
+}
+
+}  // namespace subex

@@ -1,0 +1,123 @@
+#ifndef SUBEX_DATA_CHUNKED_DATASET_H_
+#define SUBEX_DATA_CHUNKED_DATASET_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/columnar.h"
+#include "mem/cache_slot.h"
+#include "mem/dlist.h"
+#include "mem/eviction_manager.h"
+
+namespace subex {
+
+/// Point-in-time counters of a `ChunkedDataset`.
+struct ChunkedDatasetStats {
+  std::uint64_t loads = 0;      ///< Chunks materialized from disk.
+  std::uint64_t hits = 0;       ///< Pins served from a resident chunk.
+  std::uint64_t evictions = 0;  ///< Chunks dropped under pressure.
+  std::size_t resident_chunks = 0;
+  std::size_t resident_bytes = 0;
+  std::size_t pinned_chunks = 0;
+};
+
+/// Knobs of a `ChunkedDataset`.
+struct ChunkedDatasetOptions {
+  /// Memory governor the chunk cache registers with; defaults to the
+  /// process-wide one. Must outlive the dataset.
+  EvictionManager* manager = nullptr;
+  /// Display name for manager snapshots / kStats.
+  std::string name = "chunked_dataset";
+  /// Dedicated quota (0 = only the global budget binds).
+  std::size_t quota_bytes = 0;
+};
+
+/// A columnar dataset accessed through a governed chunk cache: chunks
+/// materialize from disk on first touch, stay resident while memory allows,
+/// and are evicted least-recently-used under pressure — so datasets far
+/// larger than RAM stream through detectors under a fixed byte budget.
+///
+/// `Chunk(col, block)` returns a pinned handle: while any `Pinned` handle
+/// of a chunk is alive, the chunk is unlinked from the LRU list and cannot
+/// be evicted, so compute reads a stable address. Loads use must-succeed
+/// (overcommit) reservations — a scorer's progress cannot depend on budget
+/// luck; the budget instead bounds the *unpinned* resident set, and callers
+/// keep the pinned working set small (a handful of chunks at a time).
+///
+/// Concurrent `Chunk` calls for the same slot single-flight the disk read:
+/// one thread loads, the rest wait on a condition variable and pin the
+/// loaded value. All methods are thread-safe.
+class ChunkedDataset : private SlotOwner, private MemReclaimer {
+ public:
+  struct OpenResult {
+    bool ok = false;
+    std::string error;
+    std::unique_ptr<ChunkedDataset> dataset;
+  };
+  static OpenResult Open(const std::string& path,
+                         const ChunkedDatasetOptions& options = {});
+  ~ChunkedDataset() override;
+
+  ChunkedDataset(const ChunkedDataset&) = delete;
+  ChunkedDataset& operator=(const ChunkedDataset&) = delete;
+
+  std::size_t num_rows() const { return file_->num_rows(); }
+  std::size_t num_cols() const { return file_->num_cols(); }
+  std::size_t rows_per_chunk() const { return file_->rows_per_chunk(); }
+  std::size_t num_blocks() const { return file_->num_blocks(); }
+  std::size_t RowsInBlock(std::size_t block) const {
+    return file_->RowsInBlock(block);
+  }
+  std::size_t BlockOf(std::size_t row) const { return file_->BlockOf(row); }
+  std::size_t LocalRow(std::size_t row) const { return file_->LocalRow(row); }
+  const std::vector<int>& outlier_indices() const {
+    return file_->outlier_indices();
+  }
+
+  /// Pins chunk (column `col`, row-block `block`), loading it first if not
+  /// resident. Returns an invalid handle only on an I/O failure.
+  Pinned<ColumnChunk> Chunk(std::size_t col, std::size_t block);
+
+  ChunkedDatasetStats stats() const;
+
+ private:
+  using Slot = CacheSlot<ColumnChunk>;
+
+  explicit ChunkedDataset(std::unique_ptr<ColumnarFile> file,
+                          const ChunkedDatasetOptions& options);
+
+  Slot& SlotAt(std::size_t col, std::size_t block) {
+    return slots_[col * file_->num_blocks() + block];
+  }
+
+  // SlotOwner:
+  void UnpinSlot(void* slot) override;
+
+  // MemReclaimer (called by the manager during pressure passes):
+  std::uint64_t OldestEvictableTick() override;
+  std::size_t ReclaimBytes(std::size_t target_bytes) override;
+
+  std::unique_ptr<ColumnarFile> file_;
+  EvictionManager* manager_ = nullptr;
+  EvictionManager::CacheId cache_id_ = 0;
+
+  mutable std::mutex mutex_;      // Guards slots_, lru_ and the counters.
+  std::condition_variable load_cv_;  // Signals kLoading -> kLoaded/kEmpty.
+  std::vector<Slot> slots_;       // Index = col * num_blocks + block.
+  DList lru_;                     // Resident, unpinned slots; front = MRU.
+  std::uint64_t loads_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::size_t resident_chunks_ = 0;
+  std::size_t resident_bytes_ = 0;
+  std::size_t pinned_chunks_ = 0;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_DATA_CHUNKED_DATASET_H_

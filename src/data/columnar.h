@@ -1,0 +1,213 @@
+#ifndef SUBEX_DATA_COLUMNAR_H_
+#define SUBEX_DATA_COLUMNAR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace subex {
+
+/// Packed binary column-chunk dataset format (".cols").
+///
+/// Layout (little-endian, doubles stored as their raw 8 bytes so a
+/// round-trip is bit-exact, NaNs included):
+///
+///   header (64 bytes)
+///   payload: for each row-block b, for each column f:
+///       rows_in_block(b) doubles — the values of column f for rows
+///       [b * rows_per_chunk, ...)
+///   trailer: num_outliers int64 row ids (the points of interest)
+///
+/// A "chunk" is one (column, row-block) run of doubles — the unit the
+/// chunk reader mmaps and the `ChunkedDataset` caches. Every chunk's byte
+/// offset is computable in O(1) from the header, so readers seek straight
+/// to the data they need and a dataset much larger than RAM can be scored
+/// by streaming a bounded set of resident chunks.
+struct ColumnarHeader {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t num_rows;
+  std::uint32_t num_cols;
+  std::uint32_t rows_per_chunk;
+  std::uint64_t num_outliers;
+  std::uint64_t data_offset;     ///< First payload byte (== 64).
+  std::uint64_t outlier_offset;  ///< First trailer byte.
+  std::uint64_t reserved[2];     ///< Zero; room for future format revisions.
+};
+static_assert(sizeof(ColumnarHeader) == 64, "header layout is part of the format");
+
+inline constexpr std::uint32_t kColumnarVersion = 1;
+inline constexpr std::size_t kColumnarDefaultRowsPerChunk = 1 << 16;
+
+/// Streaming writer: rows arrive row-major, one block is buffered in RAM
+/// (rows_per_chunk x num_cols doubles) and written column-transposed when
+/// full — converting never needs more memory than one block regardless of
+/// dataset size. The header is rewritten on `Finish`, so the row count
+/// need not be known up front.
+class ColumnarWriter {
+ public:
+  ColumnarWriter(const std::string& path, std::size_t num_cols,
+                 std::size_t rows_per_chunk = kColumnarDefaultRowsPerChunk);
+  ~ColumnarWriter();
+
+  ColumnarWriter(const ColumnarWriter&) = delete;
+  ColumnarWriter& operator=(const ColumnarWriter&) = delete;
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  std::size_t rows_written() const { return rows_written_; }
+
+  /// Appends one row (`row.size()` must equal `num_cols`).
+  bool AppendRow(std::span<const double> row);
+
+  /// Marks an appended row as a point of interest (any order; the trailer
+  /// is sorted and deduplicated).
+  void MarkOutlier(std::int64_t row_index);
+
+  /// Flushes the partial block, writes the trailer and the final header.
+  /// The file is invalid until this succeeds.
+  bool Finish();
+
+ private:
+  bool FlushBlock();
+  void Fail(const std::string& message);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::size_t num_cols_ = 0;
+  std::size_t rows_per_chunk_ = 0;
+  std::size_t rows_written_ = 0;
+  std::vector<double> block_;       // Row-major staging buffer.
+  std::size_t block_rows_ = 0;
+  std::vector<double> column_tmp_;  // Transpose scratch, one column.
+  std::vector<std::int64_t> outliers_;
+  bool finished_ = false;
+  std::string error_;
+};
+
+/// One materialized (column, row-block) chunk: `rows()` doubles at
+/// `data()`. Backed by a private file mapping when the platform allows it,
+/// a heap buffer otherwise; the destructor unmaps/frees. Immutable and
+/// shareable across threads.
+class ColumnChunk {
+ public:
+  ColumnChunk(const double* data, std::size_t rows, void* map_base,
+              std::size_t map_len, std::unique_ptr<double[]> heap)
+      : data_(data),
+        rows_(rows),
+        map_base_(map_base),
+        map_len_(map_len),
+        heap_(std::move(heap)) {}
+  ~ColumnChunk();
+
+  ColumnChunk(const ColumnChunk&) = delete;
+  ColumnChunk& operator=(const ColumnChunk&) = delete;
+
+  const double* data() const { return data_; }
+  std::size_t rows() const { return rows_; }
+  double operator[](std::size_t local_row) const { return data_[local_row]; }
+
+ private:
+  const double* data_;
+  std::size_t rows_;
+  void* map_base_;
+  std::size_t map_len_;
+  std::unique_ptr<double[]> heap_;
+};
+
+/// Read-side handle of a ".cols" file: validates the header (magic,
+/// version, exact file size — truncated or corrupt files are rejected at
+/// open), exposes the geometry, and loads individual chunks on demand.
+/// `ReadChunk` is safe to call concurrently (pread / private mmap).
+class ColumnarFile {
+ public:
+  struct OpenResult {
+    bool ok = false;
+    std::string error;
+    std::unique_ptr<ColumnarFile> file;
+  };
+  static OpenResult Open(const std::string& path);
+  ~ColumnarFile();
+
+  ColumnarFile(const ColumnarFile&) = delete;
+  ColumnarFile& operator=(const ColumnarFile&) = delete;
+
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_cols() const { return num_cols_; }
+  std::size_t rows_per_chunk() const { return rows_per_chunk_; }
+  /// Number of row-blocks (0 for an empty dataset).
+  std::size_t num_blocks() const { return num_blocks_; }
+  std::size_t RowsInBlock(std::size_t block) const;
+  /// Row-block containing global row `row`.
+  std::size_t BlockOf(std::size_t row) const { return row / rows_per_chunk_; }
+  /// Offset of `row` within its block.
+  std::size_t LocalRow(std::size_t row) const { return row % rows_per_chunk_; }
+  /// Payload bytes of one chunk of `block` (any column).
+  std::size_t ChunkBytes(std::size_t block) const {
+    return RowsInBlock(block) * sizeof(double);
+  }
+  const std::vector<int>& outlier_indices() const { return outlier_indices_; }
+
+  /// Materializes chunk (column `col`, row-block `block`); null on I/O
+  /// failure (the error is printed — open-time validation makes runtime
+  /// failures exceptional).
+  std::shared_ptr<const ColumnChunk> ReadChunk(std::size_t col,
+                                               std::size_t block) const;
+
+ private:
+  ColumnarFile() = default;
+
+  int fd_ = -1;
+  std::string path_;
+  std::size_t num_rows_ = 0;
+  std::size_t num_cols_ = 0;
+  std::size_t rows_per_chunk_ = 0;
+  std::size_t num_blocks_ = 0;
+  std::uint64_t data_offset_ = 0;
+  std::vector<int> outlier_indices_;
+};
+
+/// Result of a whole-file columnar load (shape mirrors `CsvReadResult`).
+struct ColumnarReadResult {
+  bool ok = false;
+  std::string error;
+  Dataset dataset;
+};
+
+/// Loads an entire ".cols" file into an in-RAM `Dataset` — the reference
+/// path for cross-checking streamed scores, and a convenience for files
+/// that do fit. Values are bit-exact copies of what the writer was given.
+ColumnarReadResult ReadColumnarDataset(const std::string& path);
+
+/// Writes `dataset` (matrix + outlier labels) as a ".cols" file.
+bool WriteColumnarDataset(const std::string& path, const Dataset& dataset,
+                          std::size_t rows_per_chunk =
+                              kColumnarDefaultRowsPerChunk,
+                          std::string* error = nullptr);
+
+/// Outcome of a CSV -> columnar conversion.
+struct CsvToColumnarResult {
+  bool ok = false;
+  std::string error;
+  std::size_t num_rows = 0;
+  std::size_t num_cols = 0;
+  std::size_t num_outliers = 0;
+};
+
+/// Streams a numeric CSV (same dialect as `ReadCsv`: optional header row,
+/// optional trailing 0/1 label column, blank lines ignored) into a ".cols"
+/// file without materializing the dataset — peak memory is one block.
+CsvToColumnarResult ConvertCsvToColumnar(
+    const std::string& csv_path, const std::string& cols_path,
+    bool label_column = true,
+    std::size_t rows_per_chunk = kColumnarDefaultRowsPerChunk);
+
+}  // namespace subex
+
+#endif  // SUBEX_DATA_COLUMNAR_H_

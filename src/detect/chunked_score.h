@@ -1,0 +1,56 @@
+#ifndef SUBEX_DETECT_CHUNKED_SCORE_H_
+#define SUBEX_DETECT_CHUNKED_SCORE_H_
+
+#include <span>
+#include <vector>
+
+#include "data/chunked_dataset.h"
+#include "detect/knn_distance.h"
+#include "detect/loda.h"
+#include "subspace/subspace.h"
+
+namespace subex {
+
+/// Streaming counterparts of the in-RAM detectors, reading a
+/// `ChunkedDataset` chunk by chunk so datasets far larger than RAM score
+/// under a fixed memory budget. Each scorer reproduces its in-RAM
+/// detector's floating-point semantics exactly — same accumulation order,
+/// same tie-breaks, same RNG draws — so streamed scores are bitwise equal
+/// to `Detector::Score` on the same data, which the tests assert.
+///
+/// The distance-based scorers take an explicit query set because scoring
+/// all points is O(n^2): at the scale that motivates chunking, callers
+/// score the points of interest (and, for LOF, the scorer internally
+/// extends the set with the one- and two-hop neighborhoods it needs). An
+/// empty query span means all points — the cross-check path for data that
+/// also fits in RAM.
+
+/// kNN-distance scores (k-th or mean neighbor distance) for `queries`,
+/// returned in query order. Empty `queries` = all points, in point order.
+/// Matches `KnnDistance(k, aggregation).Score(...)` bitwise.
+std::vector<double> ScoreKnnDistanceChunked(
+    ChunkedDataset& data, const Subspace& subspace, int k,
+    KnnDistance::Aggregation aggregation,
+    std::span<const int> queries = {});
+
+/// LOF scores for `queries`, returned in query order (empty = all points).
+/// Streams three batched kNN rounds — queries, their neighbors, and the
+/// neighbors' neighbors (the reachability closure LOF needs) — instead of
+/// the in-RAM all-points kNN table. Matches `Lof(k).Score(...)` bitwise.
+std::vector<double> ScoreLofChunked(ChunkedDataset& data,
+                                    const Subspace& subspace, int k,
+                                    std::span<const int> queries = {});
+
+/// LODA scores for every point (LODA is linear in n, so the full vector is
+/// the natural unit). Per projector, three streaming passes over the
+/// active-feature chunks — min/max, histogram, density — recompute the
+/// projections rather than materializing a per-point array; the
+/// neg-log-density accumulator is the only O(n) state. Matches
+/// `Loda(options).Score(...)` bitwise.
+std::vector<double> ScoreLodaChunked(ChunkedDataset& data,
+                                     const Subspace& subspace,
+                                     const Loda::Options& options);
+
+}  // namespace subex
+
+#endif  // SUBEX_DETECT_CHUNKED_SCORE_H_

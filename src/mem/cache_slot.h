@@ -1,0 +1,101 @@
+#ifndef SUBEX_MEM_CACHE_SLOT_H_
+#define SUBEX_MEM_CACHE_SLOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "mem/dlist.h"
+
+namespace subex {
+
+/// Implemented by caches that hand out `Pinned<T>` handles; `UnpinSlot` is
+/// called (possibly from another thread) when the last handle of a slot is
+/// destroyed. The pointer identifies the slot; the cache casts it back.
+class SlotOwner {
+ public:
+  virtual void UnpinSlot(void* slot) = 0;
+
+ protected:
+  ~SlotOwner() = default;
+};
+
+/// One governed cache entry: a lazily materialized value plus the
+/// bookkeeping the eviction machinery needs. All fields are guarded by the
+/// owning cache's lock; the slot itself is never handed across threads —
+/// only `Pinned<T>` handles are.
+///
+/// Lifecycle: kEmpty -> kLoading (one loader thread; others wait) ->
+/// kLoaded. Eviction resets a kLoaded, pin-free slot back to kEmpty. While
+/// `pins > 0` the slot is unlinked from the LRU list and can never be
+/// evicted, so in-flight compute holds its data at a stable address for as
+/// long as it needs.
+template <typename T>
+struct CacheSlot {
+  enum class State : std::uint8_t { kEmpty, kLoading, kLoaded };
+
+  DListNode node;
+  std::shared_ptr<const T> value;
+  State state = State::kEmpty;
+  int pins = 0;
+  /// Bytes charged against the `EvictionManager` while resident.
+  std::size_t bytes = 0;
+  /// Manager tick of the last touch; orders eviction across caches.
+  std::uint64_t tick = 0;
+};
+
+/// RAII pin of a cache slot's value. While alive, the slot cannot be
+/// evicted and `get()` stays valid; destruction (or release) unpins via the
+/// owning cache. Movable, not copyable — one handle, one pin.
+template <typename T>
+class Pinned {
+ public:
+  Pinned() = default;
+  Pinned(SlotOwner* owner, void* slot, std::shared_ptr<const T> value)
+      : owner_(owner), slot_(slot), value_(std::move(value)) {}
+
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+
+  Pinned(Pinned&& other) noexcept
+      : owner_(std::exchange(other.owner_, nullptr)),
+        slot_(std::exchange(other.slot_, nullptr)),
+        value_(std::move(other.value_)) {}
+
+  Pinned& operator=(Pinned&& other) noexcept {
+    if (this != &other) {
+      Release();
+      owner_ = std::exchange(other.owner_, nullptr);
+      slot_ = std::exchange(other.slot_, nullptr);
+      value_ = std::move(other.value_);
+    }
+    return *this;
+  }
+
+  ~Pinned() { Release(); }
+
+  /// Drops the pin early (idempotent).
+  void Release() {
+    if (owner_ != nullptr) {
+      owner_->UnpinSlot(slot_);
+      owner_ = nullptr;
+      slot_ = nullptr;
+    }
+    value_.reset();
+  }
+
+  bool valid() const { return value_ != nullptr; }
+  const T* get() const { return value_.get(); }
+  const T& operator*() const { return *value_; }
+  const T* operator->() const { return value_.get(); }
+
+ private:
+  SlotOwner* owner_ = nullptr;
+  void* slot_ = nullptr;
+  std::shared_ptr<const T> value_;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_MEM_CACHE_SLOT_H_

@@ -1,0 +1,81 @@
+#ifndef SUBEX_MEM_DLIST_H_
+#define SUBEX_MEM_DLIST_H_
+
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace subex {
+
+/// Intrusive hook of a `DList`. Embed one per cache entry / slot; `item`
+/// points back at the owning entry so an eviction walk can recover it
+/// without a side map. A node belongs to at most one list at a time.
+struct DListNode {
+  DListNode* prev = nullptr;
+  DListNode* next = nullptr;
+  /// Back-pointer to the entry embedding this node (set once by the owner).
+  void* item = nullptr;
+
+  bool linked() const { return prev != nullptr; }
+};
+
+/// Intrusive doubly-linked recency list: front = most recently used, back =
+/// least recently used. Shared by every cache the `EvictionManager` governs
+/// (score caches, chunk stores) so they all do LRU bookkeeping the same way
+/// with zero per-touch allocation. Not internally synchronized — the owning
+/// cache's lock guards it.
+class DList {
+ public:
+  DList() { sentinel_.prev = sentinel_.next = &sentinel_; }
+
+  DList(const DList&) = delete;
+  DList& operator=(const DList&) = delete;
+
+  bool empty() const { return sentinel_.next == &sentinel_; }
+  std::size_t size() const { return size_; }
+
+  /// Links `node` at the MRU end. `node` must be unlinked.
+  void PushFront(DListNode* node) {
+    SUBEX_DCHECK(!node->linked());
+    node->prev = &sentinel_;
+    node->next = sentinel_.next;
+    sentinel_.next->prev = node;
+    sentinel_.next = node;
+    ++size_;
+  }
+
+  /// Unlinks `node`; no-op for an unlinked node.
+  void Remove(DListNode* node) {
+    if (!node->linked()) return;
+    node->prev->next = node->next;
+    node->next->prev = node->prev;
+    node->prev = node->next = nullptr;
+    --size_;
+  }
+
+  /// Marks `node` most recently used (links it if currently unlinked).
+  void MoveToFront(DListNode* node) {
+    Remove(node);
+    PushFront(node);
+  }
+
+  /// The LRU-end node, or nullptr when empty.
+  DListNode* Tail() const {
+    return sentinel_.prev == &sentinel_ ? nullptr : sentinel_.prev;
+  }
+
+  /// The node one step closer to the MRU end than `node`, or nullptr at the
+  /// front — lets eviction walks skip pinned entries: start at `Tail()`,
+  /// advance with `TowardFront` until a victim qualifies.
+  DListNode* TowardFront(DListNode* node) const {
+    return node->prev == &sentinel_ ? nullptr : node->prev;
+  }
+
+ private:
+  mutable DListNode sentinel_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_MEM_DLIST_H_

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "mem/eviction_manager.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -508,6 +509,7 @@ std::vector<std::uint8_t> ExplainServer::HandleStats(std::uint64_t request_id) {
                     .AddRaw("server", stats().ToJson())
                     .AddRaw("services", services.Build())
                     .AddRaw("metrics", MetricsRegistry::Global().ToJson())
+                    .AddRaw("mem", EvictionManager::Global().snapshot().ToJson())
                     .Build();
   return EncodeStatsResult(request_id, result);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
@@ -26,17 +27,33 @@ std::size_t EstimateEntryBytes(const ScoreKey& key, const ScoreVectorPtr& v) {
 }
 
 ScoreCache::ScoreCache(const ScoreCacheOptions& options, ServiceStats* stats)
-    : options_(options), stats_(stats) {
+    : options_(options), stats_(stats), manager_(options.manager) {
   SUBEX_CHECK(options.num_shards >= 1);
   shards_.reserve(options.num_shards);
+  // Budgets are split exactly: every shard gets the floored share and the
+  // remainder is spread one-per-shard, so the shard totals equal the
+  // configured totals — a small budget with many shards can therefore
+  // leave trailing shards with a zero cap (they then cache nothing) rather
+  // than letting the cache exceed its budget.
+  const std::size_t entry_base = options.max_entries / options.num_shards;
+  const std::size_t entry_rem = options.max_entries % options.num_shards;
+  const std::size_t byte_base = options.max_bytes / options.num_shards;
+  const std::size_t byte_rem = options.max_bytes % options.num_shards;
   for (std::size_t i = 0; i < options.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->max_entries =
-        std::max<std::size_t>(options.max_entries / options.num_shards,
-                              options.max_entries > 0 ? 1 : 0);
-    shard->max_bytes = options.max_bytes / options.num_shards;
+    shard->max_entries = entry_base + (i < entry_rem ? 1 : 0);
+    shard->max_bytes = options.max_bytes == 0
+                           ? std::numeric_limits<std::size_t>::max()
+                           : byte_base + (i < byte_rem ? 1 : 0);
     shards_.push_back(std::move(shard));
   }
+  if (manager_ != nullptr) {
+    cache_id_ = manager_->Register(options.name, options.max_bytes, this);
+  }
+}
+
+ScoreCache::~ScoreCache() {
+  if (manager_ != nullptr) manager_->Unregister(cache_id_);
 }
 
 ScoreCache::Shard& ScoreCache::ShardFor(const ScoreKey& key) {
@@ -49,46 +66,140 @@ ScoreCache::Shard& ScoreCache::ShardFor(const ScoreKey& key) {
   return *shards_[h % shards_.size()];
 }
 
+std::uint64_t ScoreCache::NextTick() {
+  return manager_ != nullptr
+             ? manager_->NextTick()
+             : local_tick_.fetch_add(1, std::memory_order_relaxed);
+}
+
 ScoreVectorPtr ScoreCache::Get(const ScoreKey& key) {
   Shard& shard = ShardFor(key);
+  const std::uint64_t tick = NextTick();
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return nullptr;
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->value;
+  Entry& entry = *it->second;
+  entry.tick = tick;
+  shard.lru.MoveToFront(&entry.node);
+  return entry.value;
 }
 
 void ScoreCache::Put(const ScoreKey& key, ScoreVectorPtr value) {
   const std::size_t entry_bytes = EstimateEntryBytes(key, value);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  // Shard caps are immutable, so hopeless inserts bail before reserving.
   if (shard.max_entries == 0) return;
-  if (shard.max_bytes > 0 && entry_bytes > shard.max_bytes) return;
-  auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    shard.bytes -= it->second->bytes;
-    it->second->value = std::move(value);
-    it->second->bytes = entry_bytes;
-    shard.bytes += entry_bytes;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  } else {
-    shard.lru.push_front(Entry{key, std::move(value), entry_bytes});
-    shard.index.emplace(key, shard.lru.begin());
-    shard.bytes += entry_bytes;
+  if (entry_bytes > shard.max_bytes) return;
+  // Reserve global budget before taking the shard lock: the manager's
+  // pressure pass may re-enter this cache (any shard) to make room.
+  if (manager_ != nullptr &&
+      !manager_->Reserve(cache_id_, entry_bytes, /*allow_overcommit=*/false)) {
+    return;
   }
-  EvictWhileOverBudget(shard);
+  std::size_t released = 0;  // Overwritten entry, returned to the manager.
+  std::size_t evicted_bytes = 0;
+  std::uint64_t evicted_entries = 0;
+  {
+    const std::uint64_t tick = NextTick();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      Entry& entry = *it->second;
+      shard.bytes -= entry.bytes;
+      released = entry.bytes;
+      entry.value = std::move(value);
+      entry.bytes = entry_bytes;
+      entry.tick = tick;
+      shard.bytes += entry_bytes;
+      shard.lru.MoveToFront(&entry.node);
+    } else {
+      auto entry = std::make_unique<Entry>();
+      entry->key = key;
+      entry->value = std::move(value);
+      entry->bytes = entry_bytes;
+      entry->tick = tick;
+      entry->node.item = entry.get();
+      shard.lru.PushFront(&entry->node);
+      shard.bytes += entry_bytes;
+      shard.index.emplace(key, std::move(entry));
+    }
+    evicted_bytes = EvictWhileOverBudget(shard, &evicted_entries);
+  }
+  if (manager_ != nullptr) {
+    if (released > 0) manager_->Release(cache_id_, released);
+    if (evicted_bytes > 0) {
+      manager_->ReleaseEvicted(cache_id_, evicted_bytes, evicted_entries);
+    }
+  }
 }
 
-void ScoreCache::EvictWhileOverBudget(Shard& shard) {
+std::size_t ScoreCache::EvictOne(Shard& shard) {
+  DListNode* tail = shard.lru.Tail();
+  if (tail == nullptr) return 0;
+  Entry& victim = *static_cast<Entry*>(tail->item);
+  const std::size_t freed = victim.bytes;
+  shard.bytes -= freed;
+  shard.lru.Remove(tail);
+  shard.index.erase(victim.key);  // Destroys the entry.
+  if (stats_ != nullptr) stats_->RecordEviction();
+  return freed;
+}
+
+std::size_t ScoreCache::EvictWhileOverBudget(Shard& shard,
+                                             std::uint64_t* evicted) {
+  std::size_t freed = 0;
   while (shard.index.size() > shard.max_entries ||
-         (shard.max_bytes > 0 && shard.bytes > shard.max_bytes &&
-          shard.index.size() > 1)) {
-    const Entry& victim = shard.lru.back();
-    shard.bytes -= victim.bytes;
-    shard.index.erase(victim.key);
-    shard.lru.pop_back();
-    if (stats_ != nullptr) stats_->RecordEviction();
+         (shard.bytes > shard.max_bytes && shard.index.size() > 1)) {
+    freed += EvictOne(shard);
+    ++*evicted;
   }
+  return freed;
+}
+
+std::uint64_t ScoreCache::OldestEvictableTick() {
+  std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    const DListNode* tail = shard->lru.Tail();
+    if (tail != nullptr) {
+      oldest = std::min(oldest, static_cast<const Entry*>(tail->item)->tick);
+    }
+  }
+  return oldest;
+}
+
+std::size_t ScoreCache::ReclaimBytes(std::size_t target_bytes) {
+  std::size_t freed = 0;
+  std::uint64_t entries = 0;
+  while (freed < target_bytes) {
+    // Evict the globally least-recent entry across shards: pick the shard
+    // whose tail tick is oldest, then pop its tail. O(num_shards) per
+    // eviction, which pressure passes can afford.
+    Shard* oldest_shard = nullptr;
+    std::uint64_t oldest_tick = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      const DListNode* tail = shard->lru.Tail();
+      if (tail == nullptr) continue;
+      const std::uint64_t tick = static_cast<const Entry*>(tail->item)->tick;
+      if (tick < oldest_tick) {
+        oldest_tick = tick;
+        oldest_shard = shard.get();
+      }
+    }
+    if (oldest_shard == nullptr) break;  // Nothing left to evict.
+    std::lock_guard<std::mutex> lock(oldest_shard->mutex);
+    // The tail may have changed since the scan; evicting whatever is the
+    // tail now is still LRU-accurate within this shard.
+    const std::size_t evicted = EvictOne(*oldest_shard);
+    if (evicted == 0) continue;
+    freed += evicted;
+    ++entries;
+  }
+  if (manager_ != nullptr && freed > 0) {
+    manager_->ReleaseEvicted(cache_id_, freed, entries);
+  }
+  return freed;
 }
 
 std::size_t ScoreCache::size() const {
@@ -110,11 +221,19 @@ std::size_t ScoreCache::bytes() const {
 }
 
 void ScoreCache::Clear() {
+  std::size_t released = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->lru.clear();
+    while (shard->lru.Tail() != nullptr) {
+      Entry& entry = *static_cast<Entry*>(shard->lru.Tail()->item);
+      shard->lru.Remove(&entry.node);
+    }
     shard->index.clear();
+    released += shard->bytes;
     shard->bytes = 0;
+  }
+  if (manager_ != nullptr && released > 0) {
+    manager_->Release(cache_id_, released);
   }
 }
 

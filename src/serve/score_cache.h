@@ -1,14 +1,17 @@
 #ifndef SUBEX_SERVE_SCORE_CACHE_H_
 #define SUBEX_SERVE_SCORE_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
-#include <list>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "mem/dlist.h"
+#include "mem/eviction_manager.h"
 #include "serve/service_stats.h"
 #include "subspace/subspace.h"
 
@@ -40,26 +43,40 @@ using ScoreVectorPtr = std::shared_ptr<const std::vector<double>>;
 /// shards; either may be the binding constraint.
 struct ScoreCacheOptions {
   /// Number of independently locked shards. More shards = less contention;
-  /// each gets `max_entries / num_shards` of the budgets (minimum 1 entry).
+  /// the budgets are split across them (remainders spread one-per-shard),
+  /// so the totals are never exceeded — which means budgets smaller than
+  /// `num_shards` leave some shards unable to cache at all. Callers wanting
+  /// tiny caches should use few shards.
   std::size_t num_shards = 8;
   /// Maximum cached score vectors (0 forbids caching anything).
   std::size_t max_entries = 1 << 16;
   /// Approximate byte ceiling over keys + score vectors (0 = unbounded).
   std::size_t max_bytes = 256ull << 20;
+  /// When set, the cache registers with this `EvictionManager` under
+  /// `name`, with `max_bytes` as its quota: inserts reserve budget first
+  /// (and are dropped when the process-wide budget cannot make room), and
+  /// pressure passes may evict this cache's LRU tail to relieve *other*
+  /// caches. Null = self-governed (per-shard budgets only).
+  EvictionManager* manager = nullptr;
+  /// Display name for manager snapshots / kStats (need not be unique).
+  std::string name = "score_cache";
 };
 
 /// Sharded, mutex-per-shard, LRU-bounded map from `(detector, subspace)` to
 /// standardized score vectors.
 ///
-/// Each shard guards an `unordered_map` plus an intrusive recency list with
-/// one mutex; a key's shard is fixed by its hash, so two requests contend
-/// only when they touch the same shard. Eviction is strict LRU per shard,
-/// triggered whenever an insert pushes the shard over its entry or byte
-/// budget. All methods are safe to call concurrently.
-class ScoreCache {
+/// Each shard guards an `unordered_map` plus an intrusive recency `DList`
+/// with one mutex; a key's shard is fixed by its hash, so two requests
+/// contend only when they touch the same shard. Eviction is strict LRU per
+/// shard, triggered whenever an insert pushes the shard over its entry or
+/// byte budget; under an `EvictionManager`, globally-LRU reclaim across
+/// shards additionally serves process-wide memory pressure. All methods
+/// are safe to call concurrently.
+class ScoreCache : private MemReclaimer {
  public:
   explicit ScoreCache(const ScoreCacheOptions& options = {},
                       ServiceStats* stats = nullptr);
+  ~ScoreCache() override;
 
   ScoreCache(const ScoreCache&) = delete;
   ScoreCache& operator=(const ScoreCache&) = delete;
@@ -71,7 +88,8 @@ class ScoreCache {
 
   /// Inserts (or overwrites) `value`, evicting least-recently-used entries
   /// of the same shard while over budget. Values larger than the whole
-  /// shard budget are simply not retained.
+  /// shard budget — or refused by the eviction manager — are simply not
+  /// retained.
   void Put(const ScoreKey& key, ScoreVectorPtr value);
 
   /// Current number of cached vectors (sums shard sizes; approximate under
@@ -86,27 +104,44 @@ class ScoreCache {
 
  private:
   struct Entry {
+    DListNode node;
     ScoreKey key;
     ScoreVectorPtr value;
     std::size_t bytes = 0;
+    std::uint64_t tick = 0;
   };
-  // Front of `lru` = most recently used.
+  // DList front = most recently used; map owns the entries.
   struct Shard {
     mutable std::mutex mutex;
-    std::list<Entry> lru;
-    std::unordered_map<ScoreKey, std::list<Entry>::iterator, ScoreKeyHash>
-        index;
+    DList lru;
+    std::unordered_map<ScoreKey, std::unique_ptr<Entry>, ScoreKeyHash> index;
     std::size_t bytes = 0;
     std::size_t max_entries = 0;
+    // SIZE_MAX = unbounded. Small per-shard slices are kept exact so the
+    // cache-wide budget is a hard ceiling (no minimum-one-entry floor).
     std::size_t max_bytes = 0;
   };
 
   Shard& ShardFor(const ScoreKey& key);
-  void EvictWhileOverBudget(Shard& shard);
+  std::uint64_t NextTick();
+  /// Evicts `shard`'s LRU tail while over its local budgets; returns the
+  /// freed bytes and bumps `evicted` (caller reports to the manager after
+  /// unlocking). Caller holds the shard mutex.
+  std::size_t EvictWhileOverBudget(Shard& shard, std::uint64_t* evicted);
+  /// Pops `shard`'s LRU tail; returns its bytes (0 when empty).
+  std::size_t EvictOne(Shard& shard);
+
+  // MemReclaimer (called by the manager during pressure passes):
+  std::uint64_t OldestEvictableTick() override;
+  std::size_t ReclaimBytes(std::size_t target_bytes) override;
 
   ScoreCacheOptions options_;
   ServiceStats* stats_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  EvictionManager* manager_ = nullptr;
+  EvictionManager::CacheId cache_id_ = 0;
+  /// Recency clock when self-governed (the manager's tick otherwise).
+  std::atomic<std::uint64_t> local_tick_{1};
 };
 
 /// Approximate heap footprint of one cache entry (key + vector + node

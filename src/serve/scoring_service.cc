@@ -18,6 +18,14 @@ std::uint64_t ElapsedNs(Clock::time_point start) {
           .count());
 }
 
+/// A private cache's display name carries the detector, so eviction-manager
+/// snapshots distinguish the per-service caches ("score_cache.LOF", ...).
+ScoreCacheOptions NamedCacheOptions(ScoreCacheOptions options,
+                                    const std::string& detector_name) {
+  options.name += "." + detector_name;
+  return options;
+}
+
 }  // namespace
 
 ScoringService::ScoringService(const Detector& detector, const Dataset& data,
@@ -28,7 +36,9 @@ ScoringService::ScoringService(const Detector& detector, const Dataset& data,
       detector_name_(detector.name()),
       stats_(std::make_shared<ServiceStats>()),
       cache_(options.enable_cache
-                 ? std::make_shared<ScoreCache>(options.cache, stats_.get())
+                 ? std::make_shared<ScoreCache>(
+                       NamedCacheOptions(options.cache, detector_name_),
+                       stats_.get())
                  : nullptr),
       pool_(pool),
       score_histogram_(&MetricsRegistry::Global().GetHistogram("detect.score")),

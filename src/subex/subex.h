@@ -27,10 +27,13 @@
 #include "core/report.h"
 #include "core/testbed.h"
 #include "core/tradeoff.h"
+#include "data/chunked_dataset.h"
+#include "data/columnar.h"
 #include "data/csv.h"
 #include "data/dataset.h"
 #include "data/generators.h"
 #include "data/ground_truth.h"
+#include "detect/chunked_score.h"
 #include "detect/detector.h"
 #include "detect/exact_abod.h"
 #include "detect/fast_abod.h"
@@ -49,6 +52,9 @@
 #include "explain/refout.h"
 #include "explain/summarizer.h"
 #include "explain/surrogate.h"
+#include "mem/cache_slot.h"
+#include "mem/dlist.h"
+#include "mem/eviction_manager.h"
 #include "ml/regression_tree.h"
 #include "net/explain_client.h"
 #include "net/explain_server.h"

@@ -1,0 +1,191 @@
+#include "detect/chunked_score.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "data/columnar.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "detect/knn_distance.h"
+#include "detect/loda.h"
+#include "detect/lof.h"
+#include "mem/eviction_manager.h"
+
+namespace subex {
+namespace {
+
+// Per-process unique paths: ctest runs tests of this suite in parallel
+// *processes*, and two of them rewriting one file under an active mmap is
+// a SIGBUS.
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "subex_chunked_" +
+         std::to_string(::getpid()) + "_" + name;
+}
+
+/// One fixture dataset on disk + in RAM: a generated mixture with labelled
+/// outliers, written columnar with small chunks so every scorer crosses
+/// many chunk boundaries.
+class ChunkedScoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HicsGeneratorConfig config;
+    config.num_points = 412;
+    config.subspace_dims = {3, 2};  // 5 features total.
+    config.outliers_per_subspace = 6;
+    config.seed = 7;
+    dataset_ = GenerateHicsDataset(config).dataset;
+    path_ = TempPath("fixture.cols");
+    std::string error;
+    ASSERT_TRUE(WriteColumnarDataset(path_, dataset_, /*rows_per_chunk=*/64,
+                                     &error))
+        << error;
+  }
+
+  /// Opens the columnar file under a fresh manager with `budget_bytes`.
+  ChunkedDataset::OpenResult OpenChunked(EvictionManager* manager) {
+    ChunkedDatasetOptions options;
+    options.manager = manager;
+    return ChunkedDataset::Open(path_, options);
+  }
+
+  Dataset dataset_;
+  std::string path_;
+};
+
+TEST_F(ChunkedScoreTest, KnnDistanceMatchesInRamBitwise) {
+  EvictionManager manager(EvictionManager::Options{.budget_bytes = 16 << 20});
+  auto open = OpenChunked(&manager);
+  ASSERT_TRUE(open.ok) << open.error;
+
+  const Subspace subspace({0, 2, 3});
+  for (const auto aggregation : {KnnDistance::Aggregation::kMax,
+                                 KnnDistance::Aggregation::kMean}) {
+    const std::vector<double> in_ram =
+        KnnDistance(10, aggregation).Score(dataset_, subspace);
+    const std::vector<double> streamed = ScoreKnnDistanceChunked(
+        *open.dataset, subspace, 10, aggregation);
+    ASSERT_EQ(streamed.size(), in_ram.size());
+    for (std::size_t p = 0; p < in_ram.size(); ++p) {
+      EXPECT_EQ(streamed[p], in_ram[p]) << "point " << p;
+    }
+  }
+}
+
+TEST_F(ChunkedScoreTest, KnnDistanceQuerySubsetMatchesInRam) {
+  EvictionManager manager(EvictionManager::Options{.budget_bytes = 16 << 20});
+  auto open = OpenChunked(&manager);
+  ASSERT_TRUE(open.ok) << open.error;
+
+  const Subspace subspace({1, 4});
+  const std::vector<double> in_ram =
+      KnnDistance(5, KnnDistance::Aggregation::kMean).Score(dataset_, subspace);
+  // The points of interest are the natural query set at scale.
+  const std::vector<int>& queries = open.dataset->outlier_indices();
+  ASSERT_FALSE(queries.empty());
+  const std::vector<double> streamed = ScoreKnnDistanceChunked(
+      *open.dataset, subspace, 5, KnnDistance::Aggregation::kMean, queries);
+  ASSERT_EQ(streamed.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(streamed[i], in_ram[queries[i]]) << "query " << queries[i];
+  }
+}
+
+TEST_F(ChunkedScoreTest, LofMatchesInRamBitwise) {
+  EvictionManager manager(EvictionManager::Options{.budget_bytes = 16 << 20});
+  auto open = OpenChunked(&manager);
+  ASSERT_TRUE(open.ok) << open.error;
+
+  const Subspace subspace({0, 1, 2});
+  const std::vector<double> in_ram = Lof(8).Score(dataset_, subspace);
+  const std::vector<double> streamed =
+      ScoreLofChunked(*open.dataset, subspace, 8);
+  ASSERT_EQ(streamed.size(), in_ram.size());
+  for (std::size_t p = 0; p < in_ram.size(); ++p) {
+    EXPECT_EQ(streamed[p], in_ram[p]) << "point " << p;
+  }
+}
+
+TEST_F(ChunkedScoreTest, LofQuerySubsetMatchesInRam) {
+  EvictionManager manager(EvictionManager::Options{.budget_bytes = 16 << 20});
+  auto open = OpenChunked(&manager);
+  ASSERT_TRUE(open.ok) << open.error;
+
+  const Subspace subspace({0, 3});
+  const std::vector<double> in_ram = Lof(6).Score(dataset_, subspace);
+  const std::vector<int>& queries = open.dataset->outlier_indices();
+  const std::vector<double> streamed =
+      ScoreLofChunked(*open.dataset, subspace, 6, queries);
+  ASSERT_EQ(streamed.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(streamed[i], in_ram[queries[i]]) << "query " << queries[i];
+  }
+}
+
+TEST_F(ChunkedScoreTest, LodaMatchesInRamBitwise) {
+  EvictionManager manager(EvictionManager::Options{.budget_bytes = 16 << 20});
+  auto open = OpenChunked(&manager);
+  ASSERT_TRUE(open.ok) << open.error;
+
+  Loda::Options options;
+  options.num_projections = 25;
+  options.seed = 1234;
+  const Subspace subspace({0, 1, 2, 3, 4});
+  const std::vector<double> in_ram = Loda(options).Score(dataset_, subspace);
+  const std::vector<double> streamed =
+      ScoreLodaChunked(*open.dataset, subspace, options);
+  ASSERT_EQ(streamed.size(), in_ram.size());
+  for (std::size_t p = 0; p < in_ram.size(); ++p) {
+    EXPECT_EQ(streamed[p], in_ram[p]) << "point " << p;
+  }
+}
+
+TEST_F(ChunkedScoreTest, EmptySubspaceMeansFullSpaceLikeDetectors) {
+  EvictionManager manager(EvictionManager::Options{.budget_bytes = 16 << 20});
+  auto open = OpenChunked(&manager);
+  ASSERT_TRUE(open.ok) << open.error;
+
+  const Subspace empty;
+  const std::vector<double> in_ram =
+      KnnDistance(4, KnnDistance::Aggregation::kMax).Score(dataset_, empty);
+  const std::vector<double> streamed = ScoreKnnDistanceChunked(
+      *open.dataset, empty, 4, KnnDistance::Aggregation::kMax);
+  ASSERT_EQ(streamed.size(), in_ram.size());
+  for (std::size_t p = 0; p < in_ram.size(); ++p) {
+    EXPECT_EQ(streamed[p], in_ram[p]);
+  }
+}
+
+TEST_F(ChunkedScoreTest, TinyBudgetForcesEvictionMidScoringYetScoresMatch) {
+  // A budget of roughly two chunks (64 rows x 8 B = 512 B each) forces the
+  // scorers to evict and reload chunks constantly; scores must not change.
+  EvictionManager manager(EvictionManager::Options{.budget_bytes = 2 << 10});
+  auto open = OpenChunked(&manager);
+  ASSERT_TRUE(open.ok) << open.error;
+
+  const Subspace subspace({0, 1, 2});
+  const std::vector<double> in_ram =
+      KnnDistance(10, KnnDistance::Aggregation::kMean).Score(dataset_, subspace);
+  const std::vector<double> streamed = ScoreKnnDistanceChunked(
+      *open.dataset, subspace, 10, KnnDistance::Aggregation::kMean);
+  for (std::size_t p = 0; p < in_ram.size(); ++p) {
+    EXPECT_EQ(streamed[p], in_ram[p]);
+  }
+  const ChunkedDatasetStats stats = open.dataset->stats();
+  EXPECT_GT(stats.evictions, 0u);
+  // Working set = 3 pinned chunks (~1.5 KB) stays near the 2 KB budget even
+  // though every chunk of the dataset streams through it.
+  EXPECT_LE(manager.used_bytes(), manager.budget_bytes() + 3 * 512);
+
+  const std::vector<double> loda_in_ram = Loda().Score(dataset_, subspace);
+  const std::vector<double> loda_streamed =
+      ScoreLodaChunked(*open.dataset, subspace, Loda::Options{});
+  for (std::size_t p = 0; p < loda_in_ram.size(); ++p) {
+    EXPECT_EQ(loda_streamed[p], loda_in_ram[p]);
+  }
+}
+
+}  // namespace
+}  // namespace subex

@@ -1,0 +1,422 @@
+#include "mem/eviction_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mem/dlist.h"
+#include "serve/score_cache.h"
+
+namespace subex {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DList
+
+struct Item {
+  DListNode node;
+  int id = 0;
+};
+
+Item MakeItem(int id) {
+  Item item;
+  item.id = id;
+  return item;
+}
+
+TEST(DListTest, StartsEmpty) {
+  DList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.Tail(), nullptr);
+}
+
+TEST(DListTest, PushFrontOrdersMostRecentFirst) {
+  DList list;
+  Item a = MakeItem(1);
+  Item b = MakeItem(2);
+  Item c = MakeItem(3);
+  a.node.item = &a;
+  b.node.item = &b;
+  c.node.item = &c;
+  list.PushFront(&a.node);
+  list.PushFront(&b.node);
+  list.PushFront(&c.node);
+  EXPECT_EQ(list.size(), 3u);
+  // Tail is the least recently pushed.
+  EXPECT_EQ(static_cast<Item*>(list.Tail()->item)->id, 1);
+}
+
+TEST(DListTest, MoveToFrontReordersTail) {
+  DList list;
+  Item a = MakeItem(1);
+  Item b = MakeItem(2);
+  a.node.item = &a;
+  b.node.item = &b;
+  list.PushFront(&a.node);
+  list.PushFront(&b.node);
+  EXPECT_EQ(static_cast<Item*>(list.Tail()->item)->id, 1);
+  list.MoveToFront(&a.node);
+  EXPECT_EQ(static_cast<Item*>(list.Tail()->item)->id, 2);
+}
+
+TEST(DListTest, RemoveUnlinksAndIsIdempotent) {
+  DList list;
+  Item a = MakeItem(1);
+  a.node.item = &a;
+  list.PushFront(&a.node);
+  EXPECT_TRUE(a.node.linked());
+  list.Remove(&a.node);
+  EXPECT_FALSE(a.node.linked());
+  EXPECT_TRUE(list.empty());
+  list.Remove(&a.node);  // No-op on an unlinked node.
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(DListTest, TowardFrontWalksTailToHead) {
+  DList list;
+  Item a = MakeItem(1);
+  Item b = MakeItem(2);
+  a.node.item = &a;
+  b.node.item = &b;
+  list.PushFront(&a.node);
+  list.PushFront(&b.node);
+  DListNode* tail = list.Tail();
+  ASSERT_NE(tail, nullptr);
+  DListNode* next = list.TowardFront(tail);
+  ASSERT_NE(next, nullptr);
+  EXPECT_EQ(static_cast<Item*>(next->item)->id, 2);
+  EXPECT_EQ(list.TowardFront(next), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// EvictionManager with a scripted reclaimer
+
+/// Fake cache: a pile of equally sized droppable entries.
+class FakeCache : public MemReclaimer {
+ public:
+  FakeCache(EvictionManager* manager, std::string name, std::size_t quota)
+      : manager_(manager) {
+    id_ = manager->Register(std::move(name), quota, this);
+  }
+  ~FakeCache() override { manager_->Unregister(id_); }
+
+  EvictionManager::CacheId id() const { return id_; }
+
+  /// Tries to add one entry of `bytes`; mirrors the governed-cache protocol.
+  bool Add(std::size_t bytes, bool overcommit = false) {
+    if (!manager_->Reserve(id_, bytes, overcommit)) return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back({bytes, manager_->NextTick()});
+    return true;
+  }
+
+  std::size_t entry_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  std::uint64_t OldestEvictableTick() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.empty()) return std::numeric_limits<std::uint64_t>::max();
+    return entries_.front().tick;  // FIFO = LRU for this fake.
+  }
+
+  std::size_t ReclaimBytes(std::size_t target_bytes) override {
+    std::size_t freed = 0;
+    std::uint64_t dropped = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (freed < target_bytes && !entries_.empty()) {
+        freed += entries_.front().bytes;
+        entries_.erase(entries_.begin());
+        ++dropped;
+      }
+    }
+    if (freed > 0) manager_->ReleaseEvicted(id_, freed, dropped);
+    return freed;
+  }
+
+ private:
+  struct Entry {
+    std::size_t bytes;
+    std::uint64_t tick;
+  };
+  EvictionManager* manager_;
+  EvictionManager::CacheId id_ = 0;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+EvictionManager::Options SmallBudget(std::size_t bytes) {
+  EvictionManager::Options options;
+  options.budget_bytes = bytes;
+  return options;
+}
+
+TEST(EvictionManagerTest, ReserveWithinBudgetSucceeds) {
+  EvictionManager manager(SmallBudget(1000));
+  FakeCache cache(&manager, "a", 0);
+  EXPECT_TRUE(cache.Add(400));
+  EXPECT_TRUE(cache.Add(400));
+  EXPECT_EQ(manager.used_bytes(), 800u);
+}
+
+TEST(EvictionManagerTest, PressureEvictsOldEntriesInsteadOfFailing) {
+  EvictionManager manager(SmallBudget(1000));
+  FakeCache cache(&manager, "a", 0);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(cache.Add(100));
+  // Budget full: the next reserve must evict one old entry, not fail.
+  EXPECT_TRUE(cache.Add(100));
+  EXPECT_EQ(manager.used_bytes(), 1000u);
+  EXPECT_EQ(cache.entry_count(), 10u);
+  EXPECT_GE(manager.snapshot().reclaim_passes, 1u);
+}
+
+TEST(EvictionManagerTest, ReserveFailsWhenNothingIsEvictable) {
+  EvictionManager manager(SmallBudget(100));
+  // A reclaimer-less cache cannot shed load.
+  const auto id = manager.Register("pinned", 0, nullptr);
+  EXPECT_TRUE(manager.Reserve(id, 100));
+  EXPECT_FALSE(manager.Reserve(id, 50));
+  // The failed reservation must be rolled back.
+  EXPECT_EQ(manager.used_bytes(), 100u);
+  EXPECT_EQ(manager.snapshot().reserve_failures, 1u);
+  manager.Unregister(id);
+}
+
+TEST(EvictionManagerTest, OvercommitNeverFails) {
+  EvictionManager manager(SmallBudget(100));
+  const auto id = manager.Register("pinned", 0, nullptr);
+  EXPECT_TRUE(manager.Reserve(id, 100));
+  EXPECT_TRUE(manager.Reserve(id, 500, /*allow_overcommit=*/true));
+  EXPECT_EQ(manager.used_bytes(), 600u);
+  EXPECT_EQ(manager.snapshot().overcommits, 1u);
+  manager.Unregister(id);
+}
+
+TEST(EvictionManagerTest, QuotaBindsBeforeGlobalBudget) {
+  EvictionManager manager(SmallBudget(1000));
+  FakeCache small(&manager, "small", 200);
+  // The global budget has plenty of room; the quota forces self-reclaim.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(small.Add(100));
+  EXPECT_LE(manager.used_bytes(), 200u);
+  EXPECT_EQ(small.entry_count(), 2u);
+}
+
+TEST(EvictionManagerTest, GlobalPressureEvictsTheGloballyOldestCache) {
+  EvictionManager manager(SmallBudget(1000));
+  FakeCache old_cache(&manager, "old", 0);
+  FakeCache new_cache(&manager, "new", 0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(old_cache.Add(100));
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(new_cache.Add(100));
+  // Budget full; the next reserve should reclaim from `old` (oldest ticks),
+  // not from the inserting cache.
+  EXPECT_TRUE(new_cache.Add(100));
+  EXPECT_EQ(old_cache.entry_count(), 4u);
+  EXPECT_EQ(new_cache.entry_count(), 6u);
+}
+
+TEST(EvictionManagerTest, ReleaseUncharges) {
+  EvictionManager manager(SmallBudget(1000));
+  const auto id = manager.Register("a", 0, nullptr);
+  EXPECT_TRUE(manager.Reserve(id, 600));
+  manager.Release(id, 600);
+  EXPECT_EQ(manager.used_bytes(), 0u);
+  manager.Unregister(id);
+}
+
+TEST(EvictionManagerTest, ShrinkingBudgetTriggersImmediateReclaim) {
+  EvictionManager manager(SmallBudget(1000));
+  FakeCache cache(&manager, "a", 0);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(cache.Add(100));
+  manager.SetBudget(300);
+  EXPECT_LE(manager.used_bytes(), 300u);
+  EXPECT_LE(cache.entry_count(), 3u);
+  EXPECT_EQ(manager.budget_bytes(), 300u);
+}
+
+TEST(EvictionManagerTest, UnregisterUnchargesResidue) {
+  EvictionManager manager(SmallBudget(1000));
+  {
+    FakeCache cache(&manager, "a", 0);
+    EXPECT_TRUE(cache.Add(700));
+    EXPECT_EQ(manager.used_bytes(), 700u);
+  }
+  EXPECT_EQ(manager.used_bytes(), 0u);
+  EXPECT_TRUE(manager.snapshot().caches.empty());
+}
+
+TEST(EvictionManagerTest, PinAccountingFlowsIntoSnapshot) {
+  EvictionManager manager(SmallBudget(1000));
+  const auto id = manager.Register("pins", 0, nullptr);
+  EXPECT_TRUE(manager.Reserve(id, 500));
+  manager.NotePin(id, 200);
+  manager.NotePin(id, 100);
+  EvictionManagerSnapshot snap = manager.snapshot();
+  ASSERT_EQ(snap.caches.size(), 1u);
+  EXPECT_EQ(snap.caches[0].pinned_bytes, 300u);
+  EXPECT_EQ(snap.caches[0].pinned_count, 2u);
+  manager.NoteUnpin(id, 200);
+  snap = manager.snapshot();
+  EXPECT_EQ(snap.caches[0].pinned_bytes, 100u);
+  EXPECT_EQ(snap.caches[0].pinned_count, 1u);
+  manager.Unregister(id);
+}
+
+TEST(EvictionManagerTest, SnapshotJsonHasTheStatsShape) {
+  EvictionManager manager(SmallBudget(64));
+  const auto id = manager.Register("c", 32, nullptr);
+  EXPECT_TRUE(manager.Reserve(id, 16));
+  const std::string json = manager.snapshot().ToJson();
+  EXPECT_NE(json.find("\"budget_bytes\":64"), std::string::npos);
+  EXPECT_NE(json.find("\"used_bytes\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"caches\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"c\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"quota_bytes\":32"), std::string::npos);
+  manager.Unregister(id);
+}
+
+// ---------------------------------------------------------------------------
+// Governed ScoreCache pairs
+
+ScoreVectorPtr Vec(std::size_t doubles) {
+  return std::make_shared<const std::vector<double>>(doubles, 1.0);
+}
+
+ScoreKey CacheKey(int i, const char* detector = "LOF") {
+  return ScoreKey{detector, Subspace({i})};
+}
+
+TEST(GovernedScoreCacheTest, InsertsAreChargedToTheManager) {
+  EvictionManager manager(SmallBudget(1 << 20));
+  ScoreCacheOptions options;
+  options.manager = &manager;
+  options.num_shards = 2;
+  options.max_bytes = 1 << 20;
+  ScoreCache cache(options);
+  cache.Put(CacheKey(0), Vec(100));
+  EXPECT_EQ(manager.used_bytes(), cache.bytes());
+  cache.Clear();
+  EXPECT_EQ(manager.used_bytes(), 0u);
+}
+
+TEST(GovernedScoreCacheTest, PressureFromOneCacheEvictsTheOther) {
+  // Two caches under one tight budget: filling the second must drain the
+  // first (its entries are older) rather than fail.
+  EvictionManager manager(SmallBudget(64 << 10));
+  ScoreCacheOptions options;
+  options.manager = &manager;
+  options.num_shards = 1;
+  options.max_bytes = 64 << 10;
+  options.name = "first";
+  ScoreCache first(options);
+  options.name = "second";
+  ScoreCache second(options);
+
+  for (int i = 0; i < 8; ++i) first.Put(CacheKey(i), Vec(512));
+  const std::size_t first_before = first.size();
+  ASSERT_GT(first_before, 0u);
+  for (int i = 0; i < 8; ++i) second.Put(CacheKey(i, "iForest"), Vec(512));
+  EXPECT_GT(second.size(), 0u);
+  EXPECT_LT(first.size(), first_before);
+  EXPECT_LE(manager.used_bytes(), manager.budget_bytes());
+
+  const EvictionManagerSnapshot snap = manager.snapshot();
+  ASSERT_EQ(snap.caches.size(), 2u);
+  std::uint64_t evictions = 0;
+  for (const auto& c : snap.caches) evictions += c.evictions;
+  EXPECT_GT(evictions, 0u);
+}
+
+TEST(GovernedScoreCacheTest, ManagerBudgetDropsInsertsWhenNothingEvictable) {
+  // Budget far below one entry and no other cache to raid: Put must drop
+  // the value rather than blow the budget.
+  EvictionManager manager(SmallBudget(64));
+  ScoreCacheOptions options;
+  options.manager = &manager;
+  options.num_shards = 1;
+  options.max_bytes = 1 << 20;
+  ScoreCache cache(options);
+  cache.Put(CacheKey(0), Vec(4096));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(manager.used_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (exercised under TSan in CI)
+
+TEST(MemConcurrencyTest, ConcurrentReservesStayWithinBudgetPlusOvercommits) {
+  EvictionManager manager(SmallBudget(10000));
+  FakeCache a(&manager, "a", 0);
+  FakeCache b(&manager, "b", 0);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      FakeCache& cache = (t % 2 == 0) ? a : b;
+      for (int i = 0; i < 200; ++i) {
+        if (!cache.Add(100)) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // No overcommit requested, so the budget is a hard ceiling.
+  EXPECT_LE(manager.used_bytes(), 10000u);
+  const EvictionManagerSnapshot snap = manager.snapshot();
+  EXPECT_EQ(snap.overcommits, 0u);
+  EXPECT_EQ(snap.reserve_calls, 800u);
+}
+
+TEST(MemConcurrencyTest, GovernedCachesUnderConcurrentLoad) {
+  EvictionManager manager(SmallBudget(256 << 10));
+  ScoreCacheOptions options;
+  options.manager = &manager;
+  options.num_shards = 4;
+  options.max_bytes = 256 << 10;
+  options.name = "left";
+  ScoreCache left(options);
+  options.name = "right";
+  ScoreCache right(options);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      ScoreCache& cache = (t % 2 == 0) ? left : right;
+      for (int i = 0; i < 300; ++i) {
+        const ScoreKey key = CacheKey(i % 64, t % 2 == 0 ? "LOF" : "kNN");
+        if (i % 3 == 0) {
+          cache.Get(key);
+        } else {
+          cache.Put(key, Vec(256));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(manager.used_bytes(), manager.budget_bytes());
+  EXPECT_EQ(manager.used_bytes(), left.bytes() + right.bytes());
+}
+
+TEST(MemConcurrencyTest, SetBudgetRacesWithInserts) {
+  EvictionManager manager(SmallBudget(128 << 10));
+  FakeCache cache(&manager, "a", 0);
+  std::thread resizer([&] {
+    for (int i = 0; i < 50; ++i) {
+      manager.SetBudget((i % 2 == 0) ? (16 << 10) : (128 << 10));
+    }
+  });
+  for (int i = 0; i < 500; ++i) cache.Add(512);
+  resizer.join();
+  manager.SetBudget(16 << 10);
+  EXPECT_LE(manager.used_bytes(), 16u << 10);
+}
+
+}  // namespace
+}  // namespace subex

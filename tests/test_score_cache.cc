@@ -141,6 +141,35 @@ TEST(ScoreCacheTest, ManyKeysAcrossShardsAllRetrievable) {
   }
 }
 
+TEST(ScoreCacheTest, ShardSplitNeverExceedsEntryBudget) {
+  // Regression: per-shard budgets used to round up to one entry per shard,
+  // so max_entries=4 with 8 shards could retain up to 8 entries. The split
+  // must be exact — totals are a hard ceiling.
+  ScoreCacheOptions options;
+  options.num_shards = 8;
+  options.max_entries = 4;
+  options.max_bytes = 0;  // Unbounded bytes; entries are the constraint.
+  ScoreCache cache(options);
+  for (FeatureId f = 0; f < 64; ++f) {
+    cache.Put(Key({f}), MakeValue({static_cast<double>(f)}));
+  }
+  EXPECT_LE(cache.size(), 4u);
+}
+
+TEST(ScoreCacheTest, ShardSplitNeverExceedsByteBudget) {
+  // Same regression for bytes: max_bytes smaller than num_shards used to
+  // leave every shard unbounded (budget/num_shards == 0 meant "no limit").
+  ScoreCacheOptions options;
+  options.num_shards = 8;
+  options.max_entries = 1 << 16;
+  options.max_bytes = 500;  // Roughly two entries across the whole cache.
+  ScoreCache cache(options);
+  for (FeatureId f = 0; f < 64; ++f) {
+    cache.Put(Key({f}), MakeValue({static_cast<double>(f)}));
+  }
+  EXPECT_LE(cache.bytes(), 500u);
+}
+
 TEST(ScoreCacheTest, ConcurrentPutGetIsConsistent) {
   ScoreCacheOptions options;
   options.num_shards = 4;

@@ -1,0 +1,173 @@
+// csv_to_columns — convert, generate and inspect ".cols" columnar datasets.
+//
+// The chunked scoring path (stream_score, ScoreKnnDistanceChunked, ...)
+// reads the packed column-chunk format written here; this tool is how
+// datasets get into it:
+//
+//   csv_to_columns convert <in.csv> <out.cols> [--no-label]
+//                          [--rows-per-chunk N]
+//   csv_to_columns generate <rows> <cols> <out.cols> [--seed S]
+//                          [--outliers K] [--rows-per-chunk N]
+//   csv_to_columns inspect <file.cols>
+//
+// `convert` streams the CSV row by row (peak memory: one row-block), so a
+// CSV far larger than RAM converts fine. `generate` streams a synthetic
+// Gaussian-mixture dataset with K planted outliers straight to disk — the
+// larger-than-RAM CI suite uses it to build a 10M-row file without ever
+// holding the data in memory. `inspect` prints the header as JSON.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "data/columnar.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  csv_to_columns convert <in.csv> <out.cols> [--no-label] "
+               "[--rows-per-chunk N]\n"
+               "  csv_to_columns generate <rows> <cols> <out.cols> "
+               "[--seed S] [--outliers K] [--rows-per-chunk N]\n"
+               "  csv_to_columns inspect <file.cols>\n");
+  return 2;
+}
+
+struct Flags {
+  std::size_t rows_per_chunk = subex::kColumnarDefaultRowsPerChunk;
+  std::uint64_t seed = 1;
+  std::size_t outliers = 64;
+  bool label_column = true;
+};
+
+bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-label") {
+      flags->label_column = false;
+    } else if (arg == "--rows-per-chunk" && i + 1 < argc) {
+      flags->rows_per_chunk = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      flags->seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--outliers" && i + 1 < argc) {
+      flags->outliers = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return flags->rows_per_chunk > 0;
+}
+
+int Convert(const std::string& csv, const std::string& cols,
+            const Flags& flags) {
+  const subex::CsvToColumnarResult result = subex::ConvertCsvToColumnar(
+      csv, cols, flags.label_column, flags.rows_per_chunk);
+  if (!result.ok) {
+    std::fprintf(stderr, "error: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("%s\n",
+              subex::JsonObject()
+                  .Add("file", cols)
+                  .Add("rows", static_cast<std::uint64_t>(result.num_rows))
+                  .Add("cols", static_cast<std::uint64_t>(result.num_cols))
+                  .Add("outliers",
+                       static_cast<std::uint64_t>(result.num_outliers))
+                  .Build()
+                  .c_str());
+  return 0;
+}
+
+/// Streams `rows x cols` of synthetic data to `path`: two Gaussian inlier
+/// clusters plus `flags.outliers` uniformly scattered outliers (marked in
+/// the trailer). Deterministic per seed; O(1) memory.
+int Generate(std::size_t rows, std::size_t cols, const std::string& path,
+             const Flags& flags) {
+  if (rows == 0 || cols == 0) {
+    std::fprintf(stderr, "error: rows and cols must be positive\n");
+    return 1;
+  }
+  subex::ColumnarWriter writer(path, cols, flags.rows_per_chunk);
+  subex::Rng rng(flags.seed);
+  const std::size_t num_outliers = std::min(flags.outliers, rows);
+  std::vector<double> row(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Outliers are spread evenly through the file so every chunk range
+    // contains some points of interest to query.
+    const bool outlier =
+        num_outliers > 0 && r % (rows / num_outliers + 1) == 0 &&
+        r / (rows / num_outliers + 1) < num_outliers;
+    if (outlier) {
+      for (double& v : row) v = rng.Uniform(-12.0, 12.0);
+      writer.MarkOutlier(static_cast<std::int64_t>(r));
+    } else {
+      const double center = (rng.Uniform() < 0.5) ? -2.0 : 2.0;
+      for (double& v : row) v = rng.Gaussian(center, 1.0);
+    }
+    if (!writer.AppendRow(row)) break;
+  }
+  if (!writer.Finish()) {
+    std::fprintf(stderr, "error: %s\n", writer.error().c_str());
+    return 1;
+  }
+  std::printf("%s\n",
+              subex::JsonObject()
+                  .Add("file", path)
+                  .Add("rows", static_cast<std::uint64_t>(rows))
+                  .Add("cols", static_cast<std::uint64_t>(cols))
+                  .Add("outliers", static_cast<std::uint64_t>(num_outliers))
+                  .Add("seed", flags.seed)
+                  .Build()
+                  .c_str());
+  return 0;
+}
+
+int Inspect(const std::string& path) {
+  const auto open = subex::ColumnarFile::Open(path);
+  if (!open.ok) {
+    std::fprintf(stderr, "error: %s\n", open.error.c_str());
+    return 1;
+  }
+  const subex::ColumnarFile& file = *open.file;
+  std::printf(
+      "%s\n",
+      subex::JsonObject()
+          .Add("file", path)
+          .Add("rows", static_cast<std::uint64_t>(file.num_rows()))
+          .Add("cols", static_cast<std::uint64_t>(file.num_cols()))
+          .Add("rows_per_chunk",
+               static_cast<std::uint64_t>(file.rows_per_chunk()))
+          .Add("blocks", static_cast<std::uint64_t>(file.num_blocks()))
+          .Add("outliers",
+               static_cast<std::uint64_t>(file.outlier_indices().size()))
+          .Build()
+          .c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+  Flags flags;
+  if (mode == "convert" && argc >= 4) {
+    if (!ParseFlags(argc, argv, 4, &flags)) return Usage();
+    return Convert(argv[2], argv[3], flags);
+  }
+  if (mode == "generate" && argc >= 5) {
+    if (!ParseFlags(argc, argv, 5, &flags)) return Usage();
+    const std::size_t rows = std::strtoull(argv[2], nullptr, 10);
+    const std::size_t cols = std::strtoull(argv[3], nullptr, 10);
+    return Generate(rows, cols, argv[4], flags);
+  }
+  if (mode == "inspect" && argc == 3) return Inspect(argv[2]);
+  return Usage();
+}

@@ -1,0 +1,245 @@
+// stream_score — score a ".cols" columnar dataset through the chunked
+// larger-than-RAM path under a fixed memory budget.
+//
+//   stream_score --data <file.cols> [--detector knn|loda|lof]
+//                [--budget-mb N] [--subspace 0,1,2] [--k K]
+//                [--projections P] [--queries poi|all|3,17,99]
+//                [--check-ram] [--stats] [--json]
+//
+// Scoring streams column chunks through the process-wide EvictionManager
+// (budget set via --budget-mb), so peak memory stays bounded no matter the
+// file size. `--queries poi` (default) scores the file's points of
+// interest — the right unit at scale, where all-points kNN would be
+// O(n^2); `all` scores every point (kNN/LOF: only sensible for files that
+// also fit in RAM). `--check-ram` additionally loads the whole file and
+// verifies the streamed scores are bitwise identical to the in-RAM
+// detectors — the acceptance check of the chunked path. `--stats` prints
+// the eviction-manager snapshot; `--json` wraps everything in one JSON
+// object for scripting.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "data/chunked_dataset.h"
+#include "data/columnar.h"
+#include "detect/chunked_score.h"
+#include "detect/knn_distance.h"
+#include "detect/loda.h"
+#include "detect/lof.h"
+#include "mem/eviction_manager.h"
+#include "subspace/subspace.h"
+
+namespace {
+
+struct Flags {
+  std::string data;
+  std::string detector = "knn";
+  std::size_t budget_mb = 256;
+  std::vector<int> subspace;
+  int k = 10;
+  int projections = 100;
+  std::string queries = "poi";
+  bool check_ram = false;
+  bool stats = false;
+  bool json = false;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: stream_score --data <file.cols> [--detector knn|loda|lof]\n"
+      "                    [--budget-mb N] [--subspace 0,1,2] [--k K]\n"
+      "                    [--projections P] [--queries poi|all|ids,...]\n"
+      "                    [--check-ram] [--stats] [--json]\n");
+  return 2;
+}
+
+std::vector<int> ParseIntList(const std::string& s) {
+  std::vector<int> values;
+  const char* p = s.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    values.push_back(static_cast<int>(std::strtol(p, &end, 10)));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return values;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--data" && i + 1 < argc) {
+      flags->data = argv[++i];
+    } else if (arg == "--detector" && i + 1 < argc) {
+      flags->detector = argv[++i];
+    } else if (arg == "--budget-mb" && i + 1 < argc) {
+      flags->budget_mb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--subspace" && i + 1 < argc) {
+      flags->subspace = ParseIntList(argv[++i]);
+    } else if (arg == "--k" && i + 1 < argc) {
+      flags->k = std::atoi(argv[++i]);
+    } else if (arg == "--projections" && i + 1 < argc) {
+      flags->projections = std::atoi(argv[++i]);
+    } else if (arg == "--queries" && i + 1 < argc) {
+      flags->queries = argv[++i];
+    } else if (arg == "--check-ram") {
+      flags->check_ram = true;
+    } else if (arg == "--stats") {
+      flags->stats = true;
+    } else if (arg == "--json") {
+      flags->json = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !flags->data.empty() && flags->budget_mb > 0;
+}
+
+double Checksum(const std::vector<double>& scores) {
+  double sum = 0.0;
+  for (double s : scores) sum += s;
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage();
+
+  subex::EvictionManager& manager = subex::EvictionManager::Global();
+  manager.SetBudget(flags.budget_mb << 20);
+
+  auto open = subex::ChunkedDataset::Open(flags.data);
+  if (!open.ok) {
+    std::fprintf(stderr, "error: %s\n", open.error.c_str());
+    return 1;
+  }
+  subex::ChunkedDataset& data = *open.dataset;
+
+  std::vector<int> queries;  // Empty = all points.
+  if (flags.queries == "poi") {
+    queries = data.outlier_indices();
+    if (queries.empty() && flags.detector != "loda") {
+      std::fprintf(stderr,
+                   "error: %s has no points of interest; pass --queries all "
+                   "or an explicit id list\n",
+                   flags.data.c_str());
+      return 1;
+    }
+  } else if (flags.queries != "all") {
+    queries = ParseIntList(flags.queries);
+    for (int q : queries) {
+      if (q < 0 || static_cast<std::size_t>(q) >= data.num_rows()) {
+        std::fprintf(stderr, "error: query %d out of range\n", q);
+        return 1;
+      }
+    }
+  }
+
+  const subex::Subspace subspace(flags.subspace);
+  subex::Loda::Options loda_options;
+  loda_options.num_projections = flags.projections;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<double> scores;
+  if (flags.detector == "knn") {
+    scores = subex::ScoreKnnDistanceChunked(
+        data, subspace, flags.k, subex::KnnDistance::Aggregation::kMean,
+        queries);
+  } else if (flags.detector == "lof") {
+    scores = subex::ScoreLofChunked(data, subspace, flags.k, queries);
+  } else if (flags.detector == "loda") {
+    scores = subex::ScoreLodaChunked(data, subspace, loda_options);
+  } else {
+    std::fprintf(stderr, "error: unknown detector %s\n",
+                 flags.detector.c_str());
+    return Usage();
+  }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Cross-check: load the whole file into RAM and compare bitwise. LODA
+  // scores all points; the distance detectors are compared at the queried
+  // points only.
+  bool checked = false;
+  bool identical = false;
+  if (flags.check_ram) {
+    const subex::ColumnarReadResult in_ram =
+        subex::ReadColumnarDataset(flags.data);
+    if (!in_ram.ok) {
+      std::fprintf(stderr, "error: %s\n", in_ram.error.c_str());
+      return 1;
+    }
+    std::vector<double> reference;
+    if (flags.detector == "knn") {
+      reference = subex::KnnDistance(flags.k,
+                                     subex::KnnDistance::Aggregation::kMean)
+                      .Score(in_ram.dataset, subspace);
+    } else if (flags.detector == "lof") {
+      reference = subex::Lof(flags.k).Score(in_ram.dataset, subspace);
+    } else {
+      reference = subex::Loda(loda_options).Score(in_ram.dataset, subspace);
+    }
+    checked = true;
+    identical = true;
+    if (flags.detector == "loda" || queries.empty()) {
+      identical = scores.size() == reference.size();
+      for (std::size_t i = 0; identical && i < scores.size(); ++i) {
+        // Bitwise: NaN != NaN under ==, but the detectors never emit NaN on
+        // finite input, so plain equality is the right comparison.
+        if (scores[i] != reference[i]) identical = false;
+      }
+    } else {
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (scores[i] != reference[static_cast<std::size_t>(queries[i])]) {
+          identical = false;
+        }
+      }
+    }
+  }
+
+  const subex::ChunkedDatasetStats chunk_stats = data.stats();
+  const subex::EvictionManagerSnapshot snapshot = manager.snapshot();
+
+  if (flags.json) {
+    subex::JsonObject obj;
+    obj.Add("file", flags.data)
+        .Add("detector", flags.detector)
+        .Add("rows", static_cast<std::uint64_t>(data.num_rows()))
+        .Add("cols", static_cast<std::uint64_t>(data.num_cols()))
+        .Add("budget_mb", static_cast<std::uint64_t>(flags.budget_mb))
+        .Add("scored", static_cast<std::uint64_t>(scores.size()))
+        .Add("elapsed_ms", elapsed_ms)
+        .Add("checksum", Checksum(scores))
+        .Add("chunk_loads", chunk_stats.loads)
+        .Add("chunk_hits", chunk_stats.hits)
+        .Add("chunk_evictions", chunk_stats.evictions);
+    if (checked) obj.Add("identical_to_ram", identical);
+    if (flags.stats) obj.AddRaw("mem", snapshot.ToJson());
+    std::printf("%s\n", obj.Build().c_str());
+  } else {
+    std::printf("scored %zu point%s in %.1f ms (detector=%s, budget=%zu MB)\n",
+                scores.size(), scores.size() == 1 ? "" : "s", elapsed_ms,
+                flags.detector.c_str(), flags.budget_mb);
+    std::printf("chunk loads=%llu hits=%llu evictions=%llu, checksum=%.17g\n",
+                static_cast<unsigned long long>(chunk_stats.loads),
+                static_cast<unsigned long long>(chunk_stats.hits),
+                static_cast<unsigned long long>(chunk_stats.evictions),
+                Checksum(scores));
+    if (checked) {
+      std::printf("in-RAM cross-check: %s\n",
+                  identical ? "bitwise identical" : "MISMATCH");
+    }
+    if (flags.stats) std::printf("mem: %s\n", snapshot.ToJson().c_str());
+  }
+  return (checked && !identical) ? 1 : 0;
+}
