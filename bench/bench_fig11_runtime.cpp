@@ -21,6 +21,12 @@
 //
 // Usage: bench_fig11_runtime [--full] [--seed N] [--threads N] [--no-cache]
 //                            [--stats] [--json out.json]
+//                            [--trace-out trace.json]
+//
+// --trace-out enables the process SpanCollector and writes every span the
+// run produced (detect.score, explain.refine, gt.search, ... as orphan
+// spans — there is no request trace in a batch bench) as Chrome
+// trace-event JSON for Perfetto / chrome://tracing.
 //
 // --stats prints, per dataset, the per-detector cache counters plus the
 // metrics-registry snapshot (the same JSON the ExplainServer kStats
@@ -43,6 +49,10 @@ int main(int argc, char** argv) {
   if (profile.name == "quick") profile.max_points_per_cell = 3;
   const bool print_stats_json = bench::HasFlag(argc, argv, "--stats");
   const std::string json_path = bench::FlagValue(argc, argv, "--json");
+  const std::string trace_out = bench::FlagValue(argc, argv, "--trace-out");
+  if (!trace_out.empty()) {
+    SpanCollector::Global().Enable(/*ring_capacity_per_thread=*/1 << 16);
+  }
   bench::JsonTimingReport report;
   report.SetMeta(JsonObject()
                      .Add("bench", "fig11_runtime")
@@ -165,6 +175,15 @@ int main(int argc, char** argv) {
                   bench::ServiceStatsJson(services).c_str());
       std::printf("metrics json: %s\n", metrics_json.c_str());
       std::printf("mem json: %s\n", mem_json.c_str());
+      // Headline latency shape of the section's detector scoring: the
+      // count-weighted mean is robust to the bucket skew a plain mean
+      // suffers when fast cache probes dominate.
+      const HistogramSnapshot score_snap =
+          MetricsRegistry::Global().GetHistogram("detect.score").snapshot();
+      std::printf("detect.score wmean %.3f ms, p99.9 %.3f ms (%llu samples)\n",
+                  score_snap.WeightedMeanNs() / 1e6,
+                  score_snap.ValueAtQuantile(0.999) / 1e6,
+                  static_cast<unsigned long long>(score_snap.count));
     }
     report.AddRow(JsonObject()
                       .Add("dataset", entry.data.name)
@@ -175,6 +194,20 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) report.WriteTo(json_path);
+  if (!trace_out.empty()) {
+    const std::string trace_json =
+        SpanCollector::Global().ToChromeTraceJson();
+    std::FILE* file = std::fopen(trace_out.c_str(), "w");
+    if (file != nullptr) {
+      std::fwrite(trace_json.data(), 1, trace_json.size(), file);
+      std::fclose(file);
+      std::printf("wrote %zu spans to %s\n",
+                  SpanCollector::Global().Snapshot().size(),
+                  trace_out.c_str());
+    } else {
+      std::printf("cannot open %s for writing\n", trace_out.c_str());
+    }
+  }
   std::printf(
       "paper expectation: LOF fastest / FastABOD slowest per subspace;\n"
       "Beam grows steeply with explanation dim while RefOut stays flat;\n"

@@ -11,6 +11,12 @@
 //
 // Usage: bench_serve_load [--clients N] [--requests N] [--queue N]
 //                         [--threads N] [--seed N] [--json out.json]
+//                         [--trace-out trace.json]
+//
+// --trace-out enables the process SpanCollector for the whole run and
+// writes every collected span — client round trips and the server-side
+// request pipeline, correlated by the wire-propagated trace ids — as
+// Chrome trace-event JSON loadable in Perfetto or chrome://tracing.
 
 #include <algorithm>
 #include <chrono>
@@ -31,7 +37,20 @@ struct LoadConfig {
   int pool_threads = 0;  // 0 = hardware concurrency.
   std::uint64_t seed = 9001;
   std::string json_path;
+  std::string trace_out;
 };
+
+/// Writes `text` to `path`; false + a printed message on failure.
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::printf("cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  return true;
+}
 
 struct ClientResult {
   std::vector<double> latencies_ms;  // Successful round trips only.
@@ -116,6 +135,14 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(
       IntFlag(argc, argv, "--seed", static_cast<int>(config.seed)));
   config.json_path = bench::FlagValue(argc, argv, "--json");
+  config.trace_out = bench::FlagValue(argc, argv, "--trace-out");
+
+  // Enable span collection up front so client-side spans are captured too
+  // (the loopback bench runs both processes' roles in one process, so one
+  // collector sees the whole distributed trace).
+  if (!config.trace_out.empty()) {
+    SpanCollector::Global().Enable(/*ring_capacity_per_thread=*/1 << 16);
+  }
 
   std::printf("== serve load: ExplainServer loopback throughput ==\n");
   std::printf(
@@ -182,6 +209,11 @@ int main(int argc, char** argv) {
   }
   const double p50 = bench::Percentile(latencies, 0.50);
   const double p99 = bench::Percentile(latencies, 0.99);
+  const double p999 = bench::Percentile(latencies, 0.999);
+  // Server-side end-to-end distribution (admission to response enqueued),
+  // with the count-weighted bucket mean for a skew-robust average.
+  const HistogramSnapshot request_snap =
+      MetricsRegistry::Global().GetHistogram("serve.request").snapshot();
   const double throughput =
       wall_seconds > 0.0 ? static_cast<double>(ok) / wall_seconds : 0.0;
   const std::uint64_t offered = stats.requests_admitted +
@@ -197,6 +229,12 @@ int main(int argc, char** argv) {
   table.AddRow({"throughput", FormatDouble(throughput) + " req/s"});
   table.AddRow({"latency p50", FormatDouble(p50) + " ms"});
   table.AddRow({"latency p99", FormatDouble(p99) + " ms"});
+  table.AddRow({"latency p99.9", FormatDouble(p999) + " ms"});
+  table.AddRow({"serve.request wmean",
+                FormatDouble(request_snap.WeightedMeanNs() / 1e6) + " ms"});
+  table.AddRow({"serve.request p99.9",
+                FormatDouble(request_snap.ValueAtQuantile(0.999) / 1e6) +
+                    " ms"});
   table.AddRow({"busy rejections (server)",
                 std::to_string(stats.busy_rejections)});
   table.AddRow({"busy-rejection rate", FormatDouble(busy_rate)});
@@ -228,6 +266,9 @@ int main(int argc, char** argv) {
                       .Add("throughput_rps", throughput)
                       .Add("latency_p50_ms", p50)
                       .Add("latency_p99_ms", p99)
+                      .Add("latency_p999_ms", p999)
+                      .Add("serve_request_wmean_ms",
+                           request_snap.WeightedMeanNs() / 1e6)
                       .Add("busy_rejections", stats.busy_rejections)
                       .Add("busy_rejection_rate", busy_rate)
                       .Add("busy_retries_absorbed", client_stats.busy_retries)
@@ -239,6 +280,17 @@ int main(int argc, char** argv) {
                       .AddRaw("client", client_stats.ToJson())
                       .AddRaw("metrics", MetricsRegistry::Global().ToJson()));
     report.WriteTo(config.json_path);
+  }
+
+  if (!config.trace_out.empty()) {
+    SpanCollector& collector = SpanCollector::Global();
+    const std::string trace_json = collector.ToChromeTraceJson();
+    if (WriteTextFile(config.trace_out, trace_json)) {
+      std::printf("wrote %zu spans (%llu dropped) to %s\n",
+                  collector.Snapshot().size(),
+                  static_cast<unsigned long long>(collector.dropped()),
+                  config.trace_out.c_str());
+    }
   }
   return errors == 0 ? 0 : 1;
 }

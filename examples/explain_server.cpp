@@ -17,13 +17,85 @@
 // the serve.request/detect.score latency histograms).
 //
 // Run: ./explain_server
+//
+// Daemon mode for smoke tests and manual poking:
+//   ./explain_server --serve [--port N] [--metrics-port N] [--duration-s S]
+// starts the same server on fixed ports (0 = ephemeral), primes the latency
+// histograms with one loopback round trip, prints the bound ports, and
+// stays up for S seconds (default 30) — long enough to scrape
+// http://127.0.0.1:<metrics-port>/metrics or attach an ExplainClient.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "subex/subex.h"
 
-int main() {
+namespace {
+
+int ServeDaemon(int argc, char** argv) {
   using namespace subex;
+  int port = 0;
+  int metrics_port = 0;
+  int duration_s = 30;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
+      metrics_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--duration-s") == 0 && i + 1 < argc) {
+      duration_s = std::atoi(argv[++i]);
+    }
+  }
+
+  HicsGeneratorConfig config;
+  config.num_points = 300;
+  config.subspace_dims = {2, 3, 3};
+  config.seed = 7;
+  const SyntheticDataset example = GenerateHicsDataset(config);
+  const Lof lof(15);
+  const Beam beam;
+  ThreadPool pool(2);
+  ScoringService service(lof, example.dataset, ScoringServiceOptions{},
+                         &pool);
+
+  ExplainServerOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.metrics_port = metrics_port;
+  ExplainServer server(options, &pool);
+  server.RegisterService(service);
+  server.RegisterExplainer("Beam", beam);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::printf("server start failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  // One round trip so the serve.request/detect.score histograms are
+  // non-empty by the time anything scrapes /metrics.
+  ExplainClient client;
+  if (client.Connect("127.0.0.1", server.port(), &error)) {
+    (void)client.Score("LOF", Subspace({0, 1}));
+    client.Disconnect();
+  }
+
+  std::printf("serving on 127.0.0.1:%u (metrics port %d) for %d s\n",
+              server.port(), server.metrics_port(), duration_s);
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::seconds(duration_s));
+  server.Stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace subex;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0) return ServeDaemon(argc, argv);
+  }
 
   // Collects one (stage, elapsed) entry per finished span below — the
   // per-request breakdown shape servers attach to slow-request logs.

@@ -80,4 +80,206 @@ void JsonObject::Key(std::string_view key) {
   body_ += ':';
 }
 
+JsonArray& JsonArray::Add(std::string_view value) {
+  Comma();
+  AppendJsonString(body_, value);
+  return *this;
+}
+
+JsonArray& JsonArray::Add(double number) {
+  Comma();
+  body_ += JsonNumber(number);
+  return *this;
+}
+
+JsonArray& JsonArray::Add(std::uint64_t number) {
+  Comma();
+  body_ += std::to_string(number);
+  return *this;
+}
+
+JsonArray& JsonArray::AddRaw(std::string_view raw) {
+  Comma();
+  body_.append(raw);
+  return *this;
+}
+
+void JsonArray::Comma() {
+  if (body_.size() > 1) body_ += ',';
+}
+
+namespace {
+
+/// Recursive-descent validator over a cursor; each Parse* advances past one
+/// grammar production or reports failure.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool Validate() {
+    SkipSpace();
+    if (!ParseValue(0)) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  bool ParseValue(int depth) {
+    if (depth > kMaxDepth) return false;
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"':
+        return ParseString();
+      case 't':
+        return ParseLiteral("true");
+      case 'f':
+        return ParseLiteral("false");
+      case 'n':
+        return ParseLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseObject(int depth) {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (Peek() != '"' || !ParseString()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!ParseValue(depth + 1)) return false;
+      SkipSpace();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(int depth) {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!ParseValue(depth + 1)) return false;
+      SkipSpace();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control characters must be escaped
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !IsHex(text_[pos_])) return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (IsDigit(Peek())) {
+      while (IsDigit(Peek())) ++pos_;
+    } else {
+      return false;
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (!IsDigit(Peek())) return false;
+      while (IsDigit(Peek())) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!IsDigit(Peek())) return false;
+      while (IsDigit(Peek())) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool ParseLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+  static bool IsHex(char c) {
+    return IsDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool IsValidJson(std::string_view json) {
+  return JsonValidator(json).Validate();
+}
+
 }  // namespace subex

@@ -15,6 +15,13 @@ void AppendJsonString(std::string& out, std::string_view s);
 /// values, which JSON cannot represent, become `null`.
 std::string JsonNumber(double value);
 
+/// True when `json` is one complete, syntactically valid JSON value (object,
+/// array, string, number, boolean or null) with nothing but whitespace
+/// around it. A structural check only — no number-range or UTF-8 validation
+/// — built for tests that assert every ToJson/export path emits parseable
+/// documents. Nesting deeper than 128 levels is rejected.
+bool IsValidJson(std::string_view json);
+
 /// Minimal append-only JSON object builder for the stats endpoints and the
 /// benchmark `--json` reports — keys in insertion order, no nesting state
 /// machine (nest by passing a built object to `AddRaw`).
@@ -40,6 +47,26 @@ class JsonObject {
  private:
   void Key(std::string_view key);
   std::string body_ = "{";
+};
+
+/// Append-only JSON array builder, the sibling of `JsonObject` for the
+/// list-shaped exports (trace events, recent event-log entries).
+class JsonArray {
+ public:
+  JsonArray& Add(std::string_view string_value);
+  JsonArray& Add(double number);
+  JsonArray& Add(std::uint64_t number);
+  /// Inserts `raw_json` verbatim as the next element (must itself be valid
+  /// JSON, e.g. an object from a `JsonObject`).
+  JsonArray& AddRaw(std::string_view raw_json);
+
+  bool empty() const { return body_.size() == 1; }
+  /// The complete array, e.g. `[1,"two",{"x":3}]`.
+  std::string Build() const { return body_ + "]"; }
+
+ private:
+  void Comma();
+  std::string body_ = "[";
 };
 
 }  // namespace subex

@@ -27,7 +27,8 @@ GroundTruth BuildGroundTruthByExhaustiveSearch(
   GroundTruth ground_truth;
   const int d = static_cast<int>(data.num_features());
   for (int dim = options.min_dim; dim <= options.max_dim; ++dim) {
-    TraceSpan sweep(&sweep_histogram);  // One span per dimension sweep.
+    // One span per dimension sweep, attached to any ambient trace.
+    TraceSpan sweep(&sweep_histogram, nullptr, "gt.search");
     const std::vector<Subspace> candidates = EnumerateSubspaces(d, dim);
     std::vector<double> best_score(
         outliers.size(), -std::numeric_limits<double>::infinity());
@@ -81,7 +82,8 @@ GroundTruth BuildGroundTruthByExhaustiveSearch(
   GroundTruth ground_truth;
   const int d = static_cast<int>(data.num_features());
   for (int dim = options.min_dim; dim <= options.max_dim; ++dim) {
-    TraceSpan sweep(&sweep_histogram);  // One span per dimension sweep.
+    // One span per dimension sweep, attached to any ambient trace.
+    TraceSpan sweep(&sweep_histogram, nullptr, "gt.search");
     const std::vector<Subspace> candidates = EnumerateSubspaces(d, dim);
     std::vector<double> best_score(
         outliers.size(), -std::numeric_limits<double>::infinity());

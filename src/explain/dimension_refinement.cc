@@ -31,7 +31,8 @@ RankedSubspaces RefineByDimensionalGain(
     const RankedSubspaces& candidates,
     const DimensionRefinementOptions& options) {
   SUBEX_CHECK(options.max_candidates >= 1);
-  TraceSpan refine(&MetricsRegistry::Global().GetHistogram("explain.refine"));
+  TraceSpan refine(&MetricsRegistry::Global().GetHistogram("explain.refine"),
+                   nullptr, "explain.refine");
   const std::size_t head = std::min<std::size_t>(options.max_candidates,
                                                  candidates.size());
   RankedSubspaces refined;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/json.h"
+#include "obs/event_log.h"
 #include "obs/registry.h"
 
 namespace subex {
@@ -111,11 +112,24 @@ bool EvictionManager::Reserve(CacheId id, std::size_t bytes,
     std::lock_guard<std::mutex> lock(mutex_);
     ++reclaim_passes_;
   }
+  SUBEX_EVENT(EventSeverity::kInfo, "mem.pressure_reclaim",
+              JsonObject()
+                  .Add("requested_bytes", static_cast<std::uint64_t>(bytes))
+                  .Add("used_bytes", static_cast<std::uint64_t>(used_bytes()))
+                  .Add("budget_bytes",
+                       static_cast<std::uint64_t>(this->budget_bytes()))
+                  .Build());
   if (PressurePass(id)) return true;
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (allow_overcommit) {
     ++overcommits_;
+    SUBEX_EVENT(EventSeverity::kWarn, "mem.overcommit",
+                JsonObject()
+                    .Add("requested_bytes", static_cast<std::uint64_t>(bytes))
+                    .Add("used_bytes", static_cast<std::uint64_t>(used_))
+                    .Add("budget_bytes", static_cast<std::uint64_t>(budget_))
+                    .Build());
     return true;
   }
   CacheEntry& entry = *caches_[id - 1];

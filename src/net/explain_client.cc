@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/json.h"
+#include "obs/span_collector.h"
 
 namespace subex {
 
@@ -85,7 +86,7 @@ bool ExplainClient::SendAndReceive(const std::vector<std::uint8_t>& request,
       // trip) is discarded; the protocol echoes ids for exactly this.
       if (header->request_id != request_id) continue;
       body->assign(payload.begin() +
-                       static_cast<std::ptrdiff_t>(kMessageHeaderBytes),
+                       static_cast<std::ptrdiff_t>(EncodedHeaderBytes(*header)),
                    payload.end());
       return true;
     }
@@ -114,6 +115,40 @@ bool ExplainClient::SendAndReceive(const std::vector<std::uint8_t>& request,
     }
     decoder_.Feed(buf, received);
   }
+}
+
+std::uint64_t ExplainClient::BeginTrace() {
+#ifndef SUBEX_OBS_DISABLED
+  last_trace_id_ = options_.enable_tracing ? NextTraceId() : 0;
+#else
+  last_trace_id_ = 0;
+#endif
+  return last_trace_id_;
+}
+
+void ExplainClient::RecordClientSpan(
+    const char* name, std::uint64_t trace_id,
+    std::chrono::steady_clock::time_point start) {
+#ifndef SUBEX_OBS_DISABLED
+  if (trace_id == 0 || !SpanCollector::Global().enabled()) return;
+  const auto duration = std::chrono::steady_clock::now() - start;
+  SpanRecord record;
+  record.name = name;
+  record.trace_id = trace_id;
+  record.span_id = NextSpanId();
+  record.parent_id = 0;
+  record.start_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          start.time_since_epoch())
+          .count());
+  record.duration_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(duration).count());
+  SpanCollector::Global().Record(record);
+#else
+  (void)name;
+  (void)trace_id;
+  (void)start;
+#endif
 }
 
 ClientStatus ExplainClient::RoundTrip(const std::vector<std::uint8_t>& request,
@@ -157,10 +192,13 @@ ExplainClient::ScoreReply ExplainClient::Score(const std::string& detector,
   request.detector = detector;
   request.subspace = subspace;
   const std::uint64_t id = next_request_id_++;
+  const std::uint64_t trace_id = BeginTrace();
   MessageType type = MessageType::kError;
   std::vector<std::uint8_t> body;
-  reply.status =
-      RoundTrip(EncodeScoreRequest(id, request), id, &type, &body, &reply.error);
+  const auto start = std::chrono::steady_clock::now();
+  reply.status = RoundTrip(EncodeScoreRequest(id, request, trace_id), id, &type,
+                           &body, &reply.error);
+  RecordClientSpan("client.score", trace_id, start);
   if (reply.status != ClientStatus::kOk) return reply;
   WireReader reader(body);
   if (type == MessageType::kError) {
@@ -193,10 +231,13 @@ ExplainClient::ExplainReply ExplainClient::Explain(const std::string& detector,
   request.target_dim = target_dim;
   request.max_results = max_results;
   const std::uint64_t id = next_request_id_++;
+  const std::uint64_t trace_id = BeginTrace();
   MessageType type = MessageType::kError;
   std::vector<std::uint8_t> body;
-  reply.status = RoundTrip(EncodeExplainRequest(id, request), id, &type, &body,
-                           &reply.error);
+  const auto start = std::chrono::steady_clock::now();
+  reply.status = RoundTrip(EncodeExplainRequest(id, request, trace_id), id,
+                           &type, &body, &reply.error);
+  RecordClientSpan("client.explain", trace_id, start);
   if (reply.status != ClientStatus::kOk) return reply;
   WireReader reader(body);
   if (type == MessageType::kError) {
@@ -220,16 +261,46 @@ ExplainClient::ExplainReply ExplainClient::Explain(const std::string& detector,
 ExplainClient::StatsReply ExplainClient::Stats() {
   StatsReply reply;
   const std::uint64_t id = next_request_id_++;
+  const std::uint64_t trace_id = BeginTrace();
   MessageType type = MessageType::kError;
   std::vector<std::uint8_t> body;
-  reply.status =
-      RoundTrip(EncodeStatsRequest(id), id, &type, &body, &reply.error);
+  const auto start = std::chrono::steady_clock::now();
+  reply.status = RoundTrip(EncodeStatsRequest(id, trace_id), id, &type, &body,
+                           &reply.error);
+  RecordClientSpan("client.stats", trace_id, start);
   if (reply.status != ClientStatus::kOk) return reply;
   WireReader reader(body);
   TextResult text;
   if (!DecodeTextResult(reader, &text)) {
     reply.status = ClientStatus::kTransportError;
     reply.error = "undecodable stats body";
+    return reply;
+  }
+  if (type == MessageType::kError) {
+    reply.status = ClientStatus::kServerError;
+    reply.error = text.text;
+    return reply;
+  }
+  reply.json = std::move(text.text);
+  return reply;
+}
+
+ExplainClient::TraceDumpReply ExplainClient::TraceDump(bool clear) {
+  TraceDumpReply reply;
+  TraceDumpRequest request;
+  request.clear = clear;
+  const std::uint64_t id = next_request_id_++;
+  MessageType type = MessageType::kError;
+  std::vector<std::uint8_t> body;
+  // Deliberately untraced: the dump itself shouldn't pollute the dump.
+  reply.status = RoundTrip(EncodeTraceDumpRequest(id, request), id, &type,
+                           &body, &reply.error);
+  if (reply.status != ClientStatus::kOk) return reply;
+  WireReader reader(body);
+  TextResult text;
+  if (!DecodeTextResult(reader, &text)) {
+    reply.status = ClientStatus::kTransportError;
+    reply.error = "undecodable trace dump body";
     return reply;
   }
   if (type == MessageType::kError) {

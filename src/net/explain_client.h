@@ -1,6 +1,7 @@
 #ifndef SUBEX_NET_EXPLAIN_CLIENT_H_
 #define SUBEX_NET_EXPLAIN_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -52,6 +53,12 @@ struct ExplainClientOptions {
   int busy_backoff_initial_ms = 1;
   int busy_backoff_max_ms = 200;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Stamp every request with a fresh trace id (propagated in the wire
+  /// header and continued server-side) and record a "client.request" span
+  /// to this process's `SpanCollector` when it is enabled. Off the wire
+  /// this costs nothing when the collector is disabled; under
+  /// SUBEX_OBS_DISABLED ids are 0 and frames stay in the old format.
+  bool enable_tracing = true;
 };
 
 /// Blocking client of an `ExplainServer`: connect once, then issue
@@ -88,6 +95,12 @@ class ExplainClient {
     std::string json;
     bool ok() const { return status == ClientStatus::kOk; }
   };
+  struct TraceDumpReply {
+    ClientStatus status = ClientStatus::kTransportError;
+    std::string error;
+    std::string json;  ///< Chrome trace-event JSON (Perfetto-loadable).
+    bool ok() const { return status == ClientStatus::kOk; }
+  };
 
   /// `kScore`: standardized score vector of `subspace` under `detector`.
   ScoreReply Score(const std::string& detector, const Subspace& subspace);
@@ -97,6 +110,14 @@ class ExplainClient {
                        std::uint32_t max_results = 0);
   /// `kStats`: server + service counters as a JSON document.
   StatsReply Stats();
+  /// `kTraceDump`: the server's collected spans as Chrome trace-event JSON
+  /// (`clear` resets the server's collector after the dump).
+  TraceDumpReply TraceDump(bool clear = false);
+
+  /// Trace id stamped on the most recent request (0 when tracing is off).
+  /// Lets callers correlate a reply with the span that will surface in a
+  /// later `TraceDump`.
+  std::uint64_t last_trace_id() const { return last_trace_id_; }
 
   /// Total `kBusy` replies absorbed by the retry loop (load-test metric).
   std::uint64_t busy_replies_seen() const { return busy_replies_seen_; }
@@ -117,11 +138,19 @@ class ExplainClient {
   bool SendAndReceive(const std::vector<std::uint8_t>& request,
                       std::uint64_t request_id, MessageHeader* header,
                       std::vector<std::uint8_t>* body, std::string* error);
+  /// Fresh trace id when tracing is on (also remembered in
+  /// `last_trace_id_`); 0 otherwise.
+  std::uint64_t BeginTrace();
+  /// Records the finished "client.request" span covering one round trip
+  /// (no-op when the collector is disabled or `trace_id` is 0).
+  void RecordClientSpan(const char* name, std::uint64_t trace_id,
+                        std::chrono::steady_clock::time_point start);
 
   ExplainClientOptions options_;
   Socket socket_;
   FrameDecoder decoder_;
   std::uint64_t next_request_id_ = 1;
+  std::uint64_t last_trace_id_ = 0;
   std::uint64_t busy_replies_seen_ = 0;
   // Plain counters (the client is single-threaded by contract).
   std::uint64_t requests_ = 0;

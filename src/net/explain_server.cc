@@ -15,7 +15,10 @@
 
 #include "common/json.h"
 #include "mem/eviction_manager.h"
+#include "obs/build_info.h"
+#include "obs/prometheus.h"
 #include "obs/registry.h"
+#include "obs/span_collector.h"
 #include "obs/trace.h"
 
 namespace subex {
@@ -24,12 +27,26 @@ using Clock = std::chrono::steady_clock;
 
 namespace {
 
+std::uint64_t NsOf(Clock::time_point t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
 std::uint64_t NsSince(Clock::time_point start) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            start)
           .count());
 }
+
+/// Request headers longer than this are rejected — `GET /metrics` fits in
+/// a fraction of it, anything bigger is not our client.
+constexpr std::size_t kMaxHttpRequestBytes = 8192;
+
+[[maybe_unused]] constexpr const char kEmptyChromeTrace[] =
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
 
 }  // namespace
 
@@ -60,11 +77,34 @@ struct ExplainServer::Connection {
   /// Admitted requests of this connection still computing.
   std::atomic<int> in_flight{0};
 
+  /// One queued response frame plus the labels its `net.write` span (the
+  /// enqueue-to-fully-sent interval) carries once flushed.
+  struct WriteEntry {
+    std::vector<std::uint8_t> frame;
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span_id = 0;
+    std::uint64_t enqueued_ns = 0;
+  };
+
   std::mutex mutex;
-  std::deque<std::vector<std::uint8_t>> write_queue;
+  std::deque<WriteEntry> write_queue;
   std::size_t write_offset = 0;  // Sent bytes of the front frame.
   bool close_after_flush = false;
   bool closed = false;
+  /// Cleared `Trace` objects reused across this connection's requests —
+  /// tracing stays off the allocator hot path. Guarded by `mutex`.
+  std::vector<std::unique_ptr<Trace>> trace_pool;
+};
+
+/// One `/metrics` exchange. Loop-thread only, no locking.
+struct ExplainServer::HttpConnection {
+  explicit HttpConnection(Socket s) : socket(std::move(s)) {}
+
+  Socket socket;
+  std::string request;
+  std::string response;
+  std::size_t write_offset = 0;
+  bool response_ready = false;
 };
 
 ExplainServer::ExplainServer(const ExplainServerOptions& options,
@@ -82,11 +122,15 @@ ExplainServer::ExplainServer(const ExplainServerOptions& options,
           &MetricsRegistry::Global().GetHistogram("serve.request.explain")),
       stats_request_histogram_(
           &MetricsRegistry::Global().GetHistogram("serve.request.stats")),
+      explain_search_histogram_(
+          &MetricsRegistry::Global().GetHistogram("explain.search")),
       bytes_received_(
           &MetricsRegistry::Global().GetCounter("net.bytes_received")),
       bytes_sent_(&MetricsRegistry::Global().GetCounter("net.bytes_sent")),
       connections_gauge_(
-          &MetricsRegistry::Global().GetGauge("serve.connections")) {}
+          &MetricsRegistry::Global().GetGauge("serve.connections")),
+      uptime_gauge_(
+          &MetricsRegistry::Global().GetGauge("server.uptime_seconds")) {}
 
 ExplainServer::~ExplainServer() { Stop(); }
 
@@ -112,7 +156,27 @@ bool ExplainServer::Start(std::string* error) {
   listener_ = ListenTcp(options_.host, options_.port, options_.listen_backlog,
                         &port_, error);
   if (!listener_.valid()) return false;
+  if (options_.metrics_port >= 0) {
+    metrics_listener_ =
+        ListenTcp(options_.host, static_cast<std::uint16_t>(options_.metrics_port),
+                  options_.listen_backlog, &metrics_port_, error);
+    if (!metrics_listener_.valid()) {
+      listener_.Close();
+      return false;
+    }
+  }
   if (!MakeWakePipe(&wake_read_, &wake_write_, error)) return false;
+  started_at_ = Clock::now();
+#ifndef SUBEX_OBS_DISABLED
+  if (options_.trace_ring_capacity > 0 && !SpanCollector::Global().enabled()) {
+    SpanCollector::Global().Enable(options_.trace_ring_capacity);
+  }
+  if (options_.slow_request_threshold_ms > 0) {
+    slow_capture_ = std::make_unique<SlowRequestCapture>(
+        static_cast<std::uint64_t>(options_.slow_request_threshold_ms * 1e6),
+        options_.slow_request_capacity);
+  }
+#endif
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   loop_thread_ = std::thread(&ExplainServer::Loop, this);
@@ -158,6 +222,7 @@ void ExplainServer::Wake() {
 void ExplainServer::Loop() {
   std::vector<pollfd> pfds;
   std::vector<std::shared_ptr<Connection>> polled;
+  std::vector<HttpConnection*> polled_http;
   bool draining = false;
   Clock::time_point drain_deadline{};
 
@@ -167,13 +232,20 @@ void ExplainServer::Loop() {
       drain_deadline =
           Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
       listener_.Close();  // No new connections; stop reading below.
+      metrics_listener_.Close();
+      // Metrics scrapes are cheap and stateless — no drain, just drop them.
+      http_connections_.clear();
     }
 
     pfds.clear();
     polled.clear();
+    polled_http.clear();
     pfds.push_back(pollfd{wake_read_.fd(), POLLIN, 0});
     if (listener_.valid()) {
       pfds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    }
+    if (metrics_listener_.valid()) {
+      pfds.push_back(pollfd{metrics_listener_.fd(), POLLIN, 0});
     }
     for (auto& [fd, conn] : connections_) {
       short events = 0;
@@ -184,6 +256,11 @@ void ExplainServer::Loop() {
       }
       pfds.push_back(pollfd{fd, events, 0});
       polled.push_back(conn);
+    }
+    for (auto& [fd, http] : http_connections_) {
+      pfds.push_back(pollfd{
+          fd, static_cast<short>(http->response_ready ? POLLOUT : POLLIN), 0});
+      polled_http.push_back(http.get());
     }
 
     int timeout_ms = -1;
@@ -206,6 +283,10 @@ void ExplainServer::Loop() {
       if (pfds[index].revents & POLLIN) AcceptNewConnections();
       ++index;
     }
+    if (metrics_listener_.valid()) {
+      if (pfds[index].revents & POLLIN) AcceptMetricsConnections();
+      ++index;
+    }
 
     for (std::size_t i = 0; i < polled.size(); ++i) {
       const std::shared_ptr<Connection>& conn = polled[i];
@@ -224,6 +305,24 @@ void ExplainServer::Loop() {
       }
       if (!alive) CloseConnection(conn);
     }
+    index += polled.size();
+
+    for (std::size_t i = 0; i < polled_http.size(); ++i) {
+      HttpConnection& http = *polled_http[i];
+      const short revents = pfds[index + i].revents;
+      bool alive = true;
+      if (revents & POLLIN) alive = HandleHttpReadable(http);
+      if (alive && (revents & POLLOUT)) alive = HandleHttpWritable(http);
+      if (alive && (revents & (POLLERR | POLLNVAL | POLLHUP)) &&
+          !(revents & POLLIN)) {
+        alive = false;
+      }
+      if (!alive) {
+        const int fd = http.socket.fd();
+        http.socket.Close();
+        http_connections_.erase(fd);
+      }
+    }
 
     if (!draining && options_.idle_timeout_ms > 0) {
       const Clock::time_point now = Clock::now();
@@ -238,6 +337,13 @@ void ExplainServer::Loop() {
       }
       for (const std::shared_ptr<Connection>& conn : idle) {
         timeouts_.fetch_add(1, std::memory_order_relaxed);
+        SUBEX_EVENT(EventSeverity::kInfo, "serve.idle_timeout",
+                    JsonObject()
+                        .Add("fd", conn->socket.fd())
+                        .Add("idle_ms",
+                             static_cast<double>(NsSince(conn->last_progress)) /
+                                 1e6)
+                        .Build());
         CloseConnection(conn);
       }
     }
@@ -263,6 +369,97 @@ void ExplainServer::Loop() {
   for (const std::shared_ptr<Connection>& conn : remaining) {
     CloseConnection(conn);
   }
+  http_connections_.clear();
+}
+
+void ExplainServer::AcceptMetricsConnections() {
+  while (true) {
+    const int fd = ::accept(metrics_listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    Socket socket(fd);
+    if (!SetNonBlocking(fd, true)) continue;
+    http_connections_.emplace(fd,
+                              std::make_unique<HttpConnection>(std::move(socket)));
+  }
+}
+
+bool ExplainServer::HandleHttpReadable(HttpConnection& conn) {
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn.socket.fd(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.request.append(buf, static_cast<std::size_t>(n));
+      if (conn.request.size() > kMaxHttpRequestBytes) return false;
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+    } else if (n == 0) {
+      return false;  // EOF before a complete request.
+    } else {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+  }
+  if (!conn.response_ready &&
+      conn.request.find("\r\n\r\n") != std::string::npos) {
+    conn.response = BuildMetricsHttpResponse(conn.request);
+    conn.response_ready = true;
+    // Try to flush immediately — most scrapes fit one send.
+    return HandleHttpWritable(conn);
+  }
+  return true;
+}
+
+bool ExplainServer::HandleHttpWritable(HttpConnection& conn) {
+  if (!conn.response_ready) return true;
+  while (conn.write_offset < conn.response.size()) {
+    const ssize_t n = ::send(conn.socket.fd(),
+                             conn.response.data() + conn.write_offset,
+                             conn.response.size() - conn.write_offset,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+    conn.write_offset += static_cast<std::size_t>(n);
+  }
+  return false;  // Fully sent; Connection: close semantics.
+}
+
+std::string ExplainServer::BuildMetricsHttpResponse(
+    const std::string& request_text) {
+  const std::size_t line_end = request_text.find("\r\n");
+  const std::string request_line = request_text.substr(
+      0, line_end == std::string::npos ? request_text.size() : line_end);
+  std::string status = "404 Not Found";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body = "not found\n";
+  if (request_line.rfind("GET /metrics", 0) == 0) {
+#ifndef SUBEX_OBS_DISABLED
+    uptime_gauge_->Set(static_cast<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(Clock::now() -
+                                                         started_at_)
+            .count()));
+    status = "200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = RenderPrometheusText(MetricsRegistry::Global());
+#else
+    status = "503 Service Unavailable";
+    body = "observability compiled out (SUBEX_OBS_DISABLED)\n";
+#endif
+  } else if (!request_line.empty() && request_line.rfind("GET ", 0) != 0) {
+    status = "405 Method Not Allowed";
+    body = "only GET is supported\n";
+  }
+  std::string response = "HTTP/1.1 " + status + "\r\n";
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  return response;
 }
 
 void ExplainServer::AcceptNewConnections() {
@@ -308,6 +505,11 @@ bool ExplainServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
   }
   if (conn->decoder.error()) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SUBEX_EVENT(EventSeverity::kWarn, "net.max_frame",
+                JsonObject()
+                    .Add("max_frame_bytes",
+                         static_cast<std::uint64_t>(options_.max_frame_bytes))
+                    .Build());
     EnqueueResponse(conn, EncodeError(0, "frame exceeds maximum size"));
     std::lock_guard<std::mutex> lock(conn->mutex);
     conn->close_after_flush = true;
@@ -319,7 +521,8 @@ bool ExplainServer::HandleWritable(const std::shared_ptr<Connection>& conn) {
   std::lock_guard<std::mutex> lock(conn->mutex);
   TraceSpan flush(conn->write_queue.empty() ? nullptr : write_histogram_);
   while (!conn->write_queue.empty()) {
-    const std::vector<std::uint8_t>& front = conn->write_queue.front();
+    const Connection::WriteEntry& entry = conn->write_queue.front();
+    const std::vector<std::uint8_t>& front = entry.frame;
     const ssize_t n =
         ::send(conn->socket.fd(), front.data() + conn->write_offset,
                front.size() - conn->write_offset, MSG_NOSIGNAL);
@@ -332,6 +535,21 @@ bool ExplainServer::HandleWritable(const std::shared_ptr<Connection>& conn) {
     bytes_sent_->Increment(static_cast<std::uint64_t>(n));
     conn->write_offset += static_cast<std::size_t>(n);
     if (conn->write_offset == front.size()) {
+#ifndef SUBEX_OBS_DISABLED
+      // The response's "net.write" span: enqueued by the handler to fully
+      // handed to the kernel here, tagged with the request's trace.
+      SpanCollector& collector = SpanCollector::Global();
+      if (collector.enabled() && entry.enqueued_ns != 0) {
+        SpanRecord record;
+        record.name = "net.write";
+        record.trace_id = entry.trace_id;
+        record.span_id = NextSpanId();
+        record.parent_id = entry.parent_span_id;
+        record.start_ns = entry.enqueued_ns;
+        record.duration_ns = NsOf(conn->last_progress) - entry.enqueued_ns;
+        collector.Record(std::move(record));
+      }
+#endif
       conn->write_queue.pop_front();
       conn->write_offset = 0;
       responses_sent_.fetch_add(1, std::memory_order_relaxed);
@@ -347,6 +565,11 @@ void ExplainServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
   if (!DecodeHeader(reader, &header) ||
       header.version != kProtocolVersion || !IsRequestType(header.type)) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SUBEX_EVENT(EventSeverity::kWarn, "net.protocol_error",
+                JsonObject()
+                    .Add("request_id", header.request_id)
+                    .Add("bytes", static_cast<std::uint64_t>(payload.size()))
+                    .Build());
     EnqueueResponse(conn,
                     EncodeError(header.request_id, "malformed request header"));
     std::lock_guard<std::mutex> lock(conn->mutex);
@@ -360,6 +583,13 @@ void ExplainServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
   do {
     if (current >= options_.queue_capacity) {
       busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+      SUBEX_EVENT(
+          EventSeverity::kWarn, "serve.busy",
+          JsonObject()
+              .Add("request_id", header.request_id)
+              .Add("queue_capacity",
+                   static_cast<std::uint64_t>(options_.queue_capacity))
+              .Build());
       EnqueueResponse(conn, EncodeBusy(header.request_id));
       return;
     }
@@ -384,17 +614,47 @@ void ExplainServer::HandleRequest(const std::shared_ptr<Connection>& conn,
                                   MessageHeader header,
                                   std::vector<std::uint8_t> payload,
                                   Clock::time_point admitted) {
-  queue_wait_histogram_->Record(NsSince(admitted));
-  WireReader reader(payload.data() + kMessageHeaderBytes,
-                    payload.size() - kMessageHeaderBytes);
+  const std::uint64_t queue_wait_ns = NsSince(admitted);
+  queue_wait_histogram_->Record(queue_wait_ns);
+
+#ifndef SUBEX_OBS_DISABLED
+  // Continue the client's distributed trace (or root a fresh one): the
+  // request's spans nest under one root that starts at admission. Traces
+  // are pooled per connection — Clear + reuse, no per-request allocation
+  // once a connection is warm.
+  Trace* trace;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->trace_pool.empty()) {
+      trace = new Trace();
+    } else {
+      trace = conn->trace_pool.back().release();
+      conn->trace_pool.pop_back();
+    }
+  }
+  trace->set_trace_id(header.has_trace_id && header.trace_id != 0
+                          ? header.trace_id
+                          : NextTraceId());
+  const std::uint64_t admitted_ns = NsOf(admitted);
+  const std::size_t root = trace->OpenSpan("serve.request", admitted_ns);
+  const std::uint64_t root_span_id = trace->spans()[root].span_id;
+  trace->Record("serve.queue_wait", admitted_ns, queue_wait_ns);
+#endif
+
+  WireReader reader(payload.data() + EncodedHeaderBytes(header),
+                    payload.size() - EncodedHeaderBytes(header));
   std::vector<std::uint8_t> response;
   try {
+#ifndef SUBEX_OBS_DISABLED
+    // Handlers and everything they call (scoring service, chunk loads,
+    // explainer pipelines) see this trace via CurrentTrace().
+    TraceContext context(trace);
+#endif
     response = ComputeResponse(header, reader);
   } catch (const std::exception& e) {
     response = EncodeError(header.request_id,
                            std::string("handler exception: ") + e.what());
   }
-  EnqueueResponse(conn, std::move(response));
   const std::uint64_t end_to_end_ns = NsSince(admitted);
   request_histogram_->Record(end_to_end_ns);
   switch (header.type) {
@@ -410,6 +670,42 @@ void ExplainServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     default:
       break;
   }
+
+#ifndef SUBEX_OBS_DISABLED
+  // Finish the trace BEFORE the response is enqueued: once the client can
+  // see the reply it may immediately ask for a kTraceDump, and every span
+  // of this request except net.write (which the loop thread records before
+  // it can read that dump request) must already be in the collector.
+  const std::uint64_t trace_id = trace->trace_id();
+  trace->CloseSpan(root, end_to_end_ns);
+  if (slow_capture_ != nullptr && slow_capture_->WouldCapture(end_to_end_ns)) {
+    const char* label = "other";
+    switch (header.type) {
+      case MessageType::kScore:
+        label = "score";
+        break;
+      case MessageType::kExplain:
+        label = "explain";
+        break;
+      case MessageType::kStats:
+        label = "stats";
+        break;
+      default:
+        break;
+    }
+    slow_capture_->Capture(label, header.request_id, trace_id, end_to_end_ns,
+                           trace->ToJson());
+  }
+  trace->Clear();
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->trace_pool.emplace_back(trace);
+  }
+  EnqueueResponse(conn, std::move(response), trace_id, root_span_id);
+#else
+  EnqueueResponse(conn, std::move(response));
+#endif
+
   conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
   in_flight_.fetch_sub(1, std::memory_order_release);
   Wake();
@@ -424,6 +720,8 @@ std::vector<std::uint8_t> ExplainServer::ComputeResponse(
       return HandleExplain(header.request_id, reader);
     case MessageType::kStats:
       return HandleStats(header.request_id);
+    case MessageType::kTraceDump:
+      return HandleTraceDump(header.request_id, reader);
     default:
       return EncodeError(header.request_id, "unsupported request type");
   }
@@ -490,8 +788,13 @@ std::vector<std::uint8_t> ExplainServer::HandleExplain(std::uint64_t request_id,
   // the cache and single-flight deduplication.
   CachingDetector cached(service);
   ExplainResult result;
-  result.ranking = explainer_it->second->Explain(data, cached, request.point,
-                                                 request.target_dim);
+  {
+    // Attaches to the request's trace via CurrentTrace(); detect.score
+    // spans from the service nest underneath.
+    TraceSpan search(explain_search_histogram_, nullptr, "explain.search");
+    result.ranking = explainer_it->second->Explain(data, cached, request.point,
+                                                   request.target_dim);
+  }
   if (request.max_results > 0 && result.ranking.size() > request.max_results) {
     result.ranking.subspaces.resize(request.max_results);
     result.ranking.scores.resize(request.max_results);
@@ -504,23 +807,69 @@ std::vector<std::uint8_t> ExplainServer::HandleStats(std::uint64_t request_id) {
   for (const auto& [name, service] : services_) {
     services.AddRaw(name, service->stats().ToJson());
   }
+  const std::uint64_t uptime_seconds = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(Clock::now() -
+                                                       started_at_)
+          .count());
+  uptime_gauge_->Set(static_cast<std::int64_t>(uptime_seconds));
+#ifndef SUBEX_OBS_DISABLED
+  const std::string events_json = EventLog::Global().ToJson();
+  const std::string slow_json =
+      slow_capture_ != nullptr
+          ? slow_capture_->ToJson()
+          : "{\"threshold_ms\":0,\"captured\":0,\"recent\":[]}";
+#else
+  const std::string events_json =
+      "{\"emitted\":0,\"suppressed\":0,\"recent\":[]}";
+  const std::string slow_json =
+      "{\"threshold_ms\":0,\"captured\":0,\"recent\":[]}";
+#endif
   TextResult result;
   result.text = JsonObject()
+                    .Add("uptime_seconds", uptime_seconds)
+                    .AddRaw("build_info", BuildInfoJson())
                     .AddRaw("server", stats().ToJson())
                     .AddRaw("services", services.Build())
                     .AddRaw("metrics", MetricsRegistry::Global().ToJson())
                     .AddRaw("mem", EvictionManager::Global().snapshot().ToJson())
+                    .AddRaw("events", events_json)
+                    .AddRaw("slow_requests", slow_json)
                     .Build();
   return EncodeStatsResult(request_id, result);
 }
 
+std::vector<std::uint8_t> ExplainServer::HandleTraceDump(
+    std::uint64_t request_id, WireReader& reader) {
+  TraceDumpRequest request;
+  if (!DecodeTraceDumpRequest(reader, &request)) {
+    return EncodeError(request_id, "malformed kTraceDump body");
+  }
+  TextResult result;
+#ifndef SUBEX_OBS_DISABLED
+  SpanCollector& collector = SpanCollector::Global();
+  result.text = collector.ToChromeTraceJson();
+  if (request.clear) collector.Clear();
+#else
+  result.text = kEmptyChromeTrace;
+#endif
+  return EncodeTraceDumpResult(request_id, result);
+}
+
 void ExplainServer::EnqueueResponse(const std::shared_ptr<Connection>& conn,
-                                    std::vector<std::uint8_t> payload) {
-  std::vector<std::uint8_t> frame = EncodeFrame(payload);
+                                    std::vector<std::uint8_t> payload,
+                                    std::uint64_t trace_id,
+                                    std::uint64_t parent_span_id) {
+  Connection::WriteEntry entry;
+  entry.frame = EncodeFrame(payload);
+  entry.trace_id = trace_id;
+  entry.parent_span_id = parent_span_id;
+#ifndef SUBEX_OBS_DISABLED
+  entry.enqueued_ns = NsOf(Clock::now());
+#endif
   {
     std::lock_guard<std::mutex> lock(conn->mutex);
     if (conn->closed) return;  // Peer already gone; drop the response.
-    conn->write_queue.push_back(std::move(frame));
+    conn->write_queue.push_back(std::move(entry));
   }
   Wake();
 }

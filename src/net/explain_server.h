@@ -15,6 +15,7 @@
 #include "net/frame.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "serve/scoring_service.h"
 
@@ -60,6 +61,22 @@ struct ExplainServerOptions {
   /// Graceful-shutdown budget: `Stop` waits this long for in-flight
   /// requests to finish and responses to flush before closing connections.
   int drain_timeout_ms = 10000;
+  /// Per-thread ring capacity the process `SpanCollector` is enabled with
+  /// at `Start` (skipped when the collector is already enabled, so a dump
+  /// in progress isn't discarded). 0 leaves the collector alone — spans
+  /// still reach it if something else enabled it. Keep modest: a
+  /// `kTraceDump` response must fit the client's frame cap.
+  std::size_t trace_ring_capacity = 2048;
+  /// Requests slower end-to-end than this retain their full span breakdown
+  /// (served under `kStats` "slow_requests"). 0 disables; fractional
+  /// values < 1 ms work (tests use tiny thresholds).
+  double slow_request_threshold_ms = 0.0;
+  /// Slow-request ring size.
+  std::size_t slow_request_capacity = 32;
+  /// Port of the optional plain-HTTP listener serving `GET /metrics` in
+  /// Prometheus text format (same bind host). -1 disables it, 0 asks for
+  /// an ephemeral port (read `metrics_port()` after `Start`).
+  int metrics_port = -1;
 };
 
 /// Networked explanation server: a single poll()-based event-loop thread
@@ -114,15 +131,26 @@ class ExplainServer {
   /// The bound TCP port (valid after `Start`).
   std::uint16_t port() const { return port_; }
 
+  /// The bound HTTP metrics port (valid after `Start` when enabled).
+  std::uint16_t metrics_port() const { return metrics_port_; }
+
   ServerStatsSnapshot stats() const;
 
   const ExplainServerOptions& options() const { return options_; }
 
  private:
   struct Connection;
+  struct HttpConnection;
 
   void Loop();
   void AcceptNewConnections();
+  void AcceptMetricsConnections();
+  /// Reads an HTTP request; builds the response once the header is
+  /// complete. Returns false when the connection should be closed.
+  bool HandleHttpReadable(HttpConnection& conn);
+  /// Flushes the HTTP response. Returns false when done or on error.
+  bool HandleHttpWritable(HttpConnection& conn);
+  std::string BuildMetricsHttpResponse(const std::string& request_text);
   /// Reads, frames and dispatches one ready connection. Returns false when
   /// the connection should be closed.
   bool HandleReadable(const std::shared_ptr<Connection>& conn);
@@ -146,8 +174,14 @@ class ExplainServer {
   std::vector<std::uint8_t> HandleExplain(std::uint64_t request_id,
                                           WireReader& reader);
   std::vector<std::uint8_t> HandleStats(std::uint64_t request_id);
+  std::vector<std::uint8_t> HandleTraceDump(std::uint64_t request_id,
+                                            WireReader& reader);
+  /// `trace_id`/`parent_span_id` label the response's eventual `net.write`
+  /// span (0 = untraced).
   void EnqueueResponse(const std::shared_ptr<Connection>& conn,
-                       std::vector<std::uint8_t> payload);
+                       std::vector<std::uint8_t> payload,
+                       std::uint64_t trace_id = 0,
+                       std::uint64_t parent_span_id = 0);
   void CloseConnection(const std::shared_ptr<Connection>& conn);
   /// Nudges the poll loop out of its wait (self-pipe trick).
   void Wake();
@@ -158,9 +192,11 @@ class ExplainServer {
   std::unordered_map<std::string, const PointExplainer*> explainers_;
 
   Socket listener_;
+  Socket metrics_listener_;
   Socket wake_read_;
   Socket wake_write_;
   std::uint16_t port_ = 0;
+  std::uint16_t metrics_port_ = 0;
   std::thread loop_thread_;
   std::mutex lifecycle_mutex_;  // Serializes Start/Stop.
   std::atomic<bool> running_{false};
@@ -177,9 +213,17 @@ class ExplainServer {
   Histogram* score_request_histogram_;    ///< serve.request.score.
   Histogram* explain_request_histogram_;  ///< serve.request.explain.
   Histogram* stats_request_histogram_;    ///< serve.request.stats.
+  Histogram* explain_search_histogram_;   ///< explain.search (handler side).
   Counter* bytes_received_;          ///< net.bytes_received.
   Counter* bytes_sent_;              ///< net.bytes_sent.
   Gauge* connections_gauge_;         ///< serve.connections (open right now).
+  Gauge* uptime_gauge_;              ///< server.uptime_seconds.
+
+  /// Set at `Start`; feeds the uptime gauge at stats/metrics render time.
+  std::chrono::steady_clock::time_point started_at_{};
+
+  /// Created at `Start` when `slow_request_threshold_ms > 0`.
+  std::unique_ptr<SlowRequestCapture> slow_capture_;
 
   // Counters (relaxed atomics; see ServiceStats for the precedent).
   std::atomic<std::uint64_t> connections_accepted_{0};
@@ -193,6 +237,10 @@ class ExplainServer {
   /// Live connections, keyed by fd. Owned by the loop thread; handlers
   /// hold their own shared_ptr and never touch this map.
   std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+
+  /// Live HTTP metrics connections. Loop-thread only — the tiny `/metrics`
+  /// exchanges are handled inline, never on the pool.
+  std::unordered_map<int, std::unique_ptr<HttpConnection>> http_connections_;
 };
 
 }  // namespace subex

@@ -3,11 +3,18 @@
 namespace subex {
 namespace {
 
-WireWriter BeginMessage(MessageType type, std::uint64_t request_id) {
+WireWriter BeginMessage(MessageType type, std::uint64_t request_id,
+                        std::uint64_t trace_id = 0) {
   WireWriter writer;
   writer.PutU8(kProtocolVersion);
-  writer.PutU8(static_cast<std::uint8_t>(type));
-  writer.PutU64(request_id);
+  if (trace_id != 0) {
+    writer.PutU8(static_cast<std::uint8_t>(type) | kTraceIdFlag);
+    writer.PutU64(request_id);
+    writer.PutU64(trace_id);
+  } else {
+    writer.PutU8(static_cast<std::uint8_t>(type));
+    writer.PutU64(request_id);
+  }
   return writer;
 }
 
@@ -15,7 +22,7 @@ WireWriter BeginMessage(MessageType type, std::uint64_t request_id) {
 
 bool IsRequestType(MessageType type) {
   return type == MessageType::kScore || type == MessageType::kExplain ||
-         type == MessageType::kStats;
+         type == MessageType::kStats || type == MessageType::kTraceDump;
 }
 
 void EncodeSubspace(WireWriter& writer, const Subspace& subspace) {
@@ -34,16 +41,18 @@ bool DecodeSubspace(WireReader& reader, Subspace* out) {
 }
 
 std::vector<std::uint8_t> EncodeScoreRequest(std::uint64_t request_id,
-                                             const ScoreRequest& request) {
-  WireWriter writer = BeginMessage(MessageType::kScore, request_id);
+                                             const ScoreRequest& request,
+                                             std::uint64_t trace_id) {
+  WireWriter writer = BeginMessage(MessageType::kScore, request_id, trace_id);
   writer.PutString(request.detector);
   EncodeSubspace(writer, request.subspace);
   return writer.Take();
 }
 
 std::vector<std::uint8_t> EncodeExplainRequest(std::uint64_t request_id,
-                                               const ExplainRequest& request) {
-  WireWriter writer = BeginMessage(MessageType::kExplain, request_id);
+                                               const ExplainRequest& request,
+                                               std::uint64_t trace_id) {
+  WireWriter writer = BeginMessage(MessageType::kExplain, request_id, trace_id);
   writer.PutString(request.detector);
   writer.PutString(request.explainer);
   writer.PutI32(request.point);
@@ -52,8 +61,18 @@ std::vector<std::uint8_t> EncodeExplainRequest(std::uint64_t request_id,
   return writer.Take();
 }
 
-std::vector<std::uint8_t> EncodeStatsRequest(std::uint64_t request_id) {
-  return BeginMessage(MessageType::kStats, request_id).Take();
+std::vector<std::uint8_t> EncodeStatsRequest(std::uint64_t request_id,
+                                             std::uint64_t trace_id) {
+  return BeginMessage(MessageType::kStats, request_id, trace_id).Take();
+}
+
+std::vector<std::uint8_t> EncodeTraceDumpRequest(std::uint64_t request_id,
+                                                 const TraceDumpRequest& request,
+                                                 std::uint64_t trace_id) {
+  WireWriter writer =
+      BeginMessage(MessageType::kTraceDump, request_id, trace_id);
+  writer.PutU8(request.clear ? 1 : 0);
+  return writer.Take();
 }
 
 std::vector<std::uint8_t> EncodeScoreResult(std::uint64_t request_id,
@@ -82,6 +101,13 @@ std::vector<std::uint8_t> EncodeStatsResult(std::uint64_t request_id,
   return writer.Take();
 }
 
+std::vector<std::uint8_t> EncodeTraceDumpResult(std::uint64_t request_id,
+                                                const TextResult& result) {
+  WireWriter writer = BeginMessage(MessageType::kTraceDumpResult, request_id);
+  writer.PutString(result.text);
+  return writer.Take();
+}
+
 std::vector<std::uint8_t> EncodeBusy(std::uint64_t request_id) {
   return BeginMessage(MessageType::kBusy, request_id).Take();
 }
@@ -95,9 +121,19 @@ std::vector<std::uint8_t> EncodeError(std::uint64_t request_id,
 
 bool DecodeHeader(WireReader& reader, MessageHeader* out) {
   out->version = reader.GetU8();
-  out->type = static_cast<MessageType>(reader.GetU8());
+  const std::uint8_t raw_type = reader.GetU8();
+  out->type = static_cast<MessageType>(raw_type & ~kTraceIdFlag);
   out->request_id = reader.GetU64();
+  out->has_trace_id = (raw_type & kTraceIdFlag) != 0;
+  // A flagged header whose trace id bytes are missing trips the reader's
+  // sticky error and the frame is rejected like any other truncation.
+  out->trace_id = out->has_trace_id ? reader.GetU64() : 0;
   return reader.ok();
+}
+
+bool DecodeTraceDumpRequest(WireReader& reader, TraceDumpRequest* out) {
+  out->clear = reader.GetU8() != 0;
+  return reader.AtEnd();
 }
 
 bool DecodeScoreRequest(WireReader& reader, ScoreRequest* out) {

@@ -21,31 +21,49 @@ inline constexpr std::uint8_t kProtocolVersion = 1;
 /// the frame format table).
 enum class MessageType : std::uint8_t {
   // Requests (client → server).
-  kScore = 1,    ///< Standardized score vector of one subspace.
-  kExplain = 2,  ///< Ranked explaining subspaces of one point.
-  kStats = 3,    ///< Server + per-service counters as JSON.
+  kScore = 1,      ///< Standardized score vector of one subspace.
+  kExplain = 2,    ///< Ranked explaining subspaces of one point.
+  kStats = 3,      ///< Server + per-service counters as JSON.
+  kTraceDump = 4,  ///< Collected spans as Chrome trace-event JSON.
   // Responses (server → client).
   kScoreResult = 64,
   kExplainResult = 65,
   kStatsResult = 66,
+  kTraceDumpResult = 67,
   kBusy = 100,   ///< Request queue full — retry with backoff.
   kError = 101,  ///< Malformed or unserviceable request; body is a message.
 };
 
-/// True for the three client-issued message types.
+/// True for the client-issued message types.
 bool IsRequestType(MessageType type);
+
+/// High bit of the wire type byte: set when an optional u64 trace id
+/// follows the fixed header. Old clients never set it and old servers never
+/// see it set, so untraced frames are byte-identical across versions.
+inline constexpr std::uint8_t kTraceIdFlag = 0x80;
 
 /// Fixed prelude of every payload: version, type, and the client-chosen
 /// request id the server echoes back (responses to pipelined requests may
-/// arrive in any order; the id pairs them up).
+/// arrive in any order; the id pairs them up). A request may additionally
+/// carry the client's trace id (see `kTraceIdFlag`), continued server-side
+/// so one distributed trace spans both processes.
 struct MessageHeader {
   std::uint8_t version = kProtocolVersion;
   MessageType type = MessageType::kError;
   std::uint64_t request_id = 0;
+  bool has_trace_id = false;
+  std::uint64_t trace_id = 0;
 };
 
-/// Serialized size of a `MessageHeader`.
+/// Serialized size of the fixed (trace-less) header prelude.
 inline constexpr std::size_t kMessageHeaderBytes = 1 + 1 + 8;
+
+/// Serialized size of `header`: the fixed prelude plus the optional trace
+/// id (keyed on `has_trace_id`, so a flagged header with trace id 0 still
+/// counts its 8 bytes).
+inline constexpr std::size_t EncodedHeaderBytes(const MessageHeader& header) {
+  return kMessageHeaderBytes + (header.has_trace_id ? 8 : 0);
+}
 
 // ---------------------------------------------------------------------------
 // Message bodies.
@@ -78,8 +96,15 @@ struct ExplainResult {
   RankedSubspaces ranking;
 };
 
+/// `kTraceDump`: fetch the server's collected spans; `clear` additionally
+/// resets the collector so successive dumps don't repeat spans.
+struct TraceDumpRequest {
+  bool clear = false;
+};
+
 /// `kStatsResult`: one JSON document (server counters + per-service cache
-/// stats). `kError` reuses the same single-string shape for its message.
+/// stats). `kTraceDumpResult` (Chrome trace-event JSON) and `kError` (the
+/// error message) reuse the same single-string shape.
 struct TextResult {
   std::string text;
 };
@@ -92,17 +117,27 @@ void EncodeSubspace(WireWriter& writer, const Subspace& subspace);
 /// Returns false (leaving `out` unspecified) on a corrupt encoding.
 bool DecodeSubspace(WireReader& reader, Subspace* out);
 
+// Requests take an optional trace id; 0 (the id no generator produces)
+// means untraced and keeps the frame in the old fixed-header format.
 std::vector<std::uint8_t> EncodeScoreRequest(std::uint64_t request_id,
-                                             const ScoreRequest& request);
+                                             const ScoreRequest& request,
+                                             std::uint64_t trace_id = 0);
 std::vector<std::uint8_t> EncodeExplainRequest(std::uint64_t request_id,
-                                               const ExplainRequest& request);
-std::vector<std::uint8_t> EncodeStatsRequest(std::uint64_t request_id);
+                                               const ExplainRequest& request,
+                                               std::uint64_t trace_id = 0);
+std::vector<std::uint8_t> EncodeStatsRequest(std::uint64_t request_id,
+                                             std::uint64_t trace_id = 0);
+std::vector<std::uint8_t> EncodeTraceDumpRequest(
+    std::uint64_t request_id, const TraceDumpRequest& request,
+    std::uint64_t trace_id = 0);
 std::vector<std::uint8_t> EncodeScoreResult(std::uint64_t request_id,
                                             const ScoreResult& result);
 std::vector<std::uint8_t> EncodeExplainResult(std::uint64_t request_id,
                                               const ExplainResult& result);
 std::vector<std::uint8_t> EncodeStatsResult(std::uint64_t request_id,
                                             const TextResult& result);
+std::vector<std::uint8_t> EncodeTraceDumpResult(std::uint64_t request_id,
+                                                const TextResult& result);
 std::vector<std::uint8_t> EncodeBusy(std::uint64_t request_id);
 std::vector<std::uint8_t> EncodeError(std::uint64_t request_id,
                                       const std::string& message);
@@ -114,6 +149,7 @@ std::vector<std::uint8_t> EncodeError(std::uint64_t request_id,
 
 bool DecodeHeader(WireReader& reader, MessageHeader* out);
 bool DecodeScoreRequest(WireReader& reader, ScoreRequest* out);
+bool DecodeTraceDumpRequest(WireReader& reader, TraceDumpRequest* out);
 bool DecodeExplainRequest(WireReader& reader, ExplainRequest* out);
 bool DecodeScoreResult(WireReader& reader, ScoreResult* out);
 bool DecodeExplainResult(WireReader& reader, ExplainResult* out);

@@ -49,13 +49,26 @@ double HistogramSnapshot::ValueAtQuantile(double q) const {
   return static_cast<double>(max);
 }
 
+double HistogramSnapshot::WeightedMeanNs() const {
+  if (count == 0) return 0.0;
+  double weighted_sum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] != 0) {
+      weighted_sum += static_cast<double>(counts[i]) * BucketMidpoint(i);
+    }
+  }
+  return weighted_sum / static_cast<double>(count);
+}
+
 std::string HistogramSnapshot::ToJson() const {
   return JsonObject()
       .Add("count", count)
       .Add("mean_ms", MeanNs() / kNsPerMs)
+      .Add("wmean_ms", WeightedMeanNs() / kNsPerMs)
       .Add("p50_ms", ValueAtQuantile(0.50) / kNsPerMs)
       .Add("p90_ms", ValueAtQuantile(0.90) / kNsPerMs)
       .Add("p99_ms", ValueAtQuantile(0.99) / kNsPerMs)
+      .Add("p999_ms", ValueAtQuantile(0.999) / kNsPerMs)
       .Add("max_ms", static_cast<double>(max) / kNsPerMs)
       .Build();
 }

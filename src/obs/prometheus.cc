@@ -1,0 +1,69 @@
+#include "obs/prometheus.h"
+
+#include <cstdio>
+
+namespace subex {
+namespace {
+
+constexpr double kNsPerSecond = 1e9;
+
+/// Prometheus metric names admit only [a-zA-Z0-9_:] (and must not start
+/// with a digit — our "subex_" prefix guarantees that).
+std::string Sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+void AppendSummary(std::string& out, const std::string& name,
+                   const HistogramSnapshot& snapshot) {
+  out += "# TYPE " + name + " summary\n";
+  static constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+  static constexpr const char* kLabels[] = {"0.5", "0.9", "0.99", "0.999"};
+  for (std::size_t i = 0; i < 4; ++i) {
+    out += name + "{quantile=\"" + kLabels[i] + "\"} " +
+           FormatDouble(snapshot.ValueAtQuantile(kQuantiles[i]) /
+                        kNsPerSecond) +
+           "\n";
+  }
+  out += name + "_sum " +
+         FormatDouble(static_cast<double>(snapshot.sum) / kNsPerSecond) + "\n";
+  out += name + "_count " + std::to_string(snapshot.count) + "\n";
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = "subex_" + Sanitize(name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = "subex_" + Sanitize(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    AppendSummary(out, "subex_" + Sanitize(name) + "_seconds", histogram);
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsRegistry& registry) {
+  return RenderPrometheusText(registry.Snapshot());
+}
+
+}  // namespace subex

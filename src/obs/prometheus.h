@@ -1,0 +1,23 @@
+#ifndef SUBEX_OBS_PROMETHEUS_H_
+#define SUBEX_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace subex {
+
+/// Renders every instrument in `registry` in the Prometheus text exposition
+/// format 0.0.4 — the body `GET /metrics` serves. Counters become
+/// `subex_<name>_total` counters, gauges `subex_<name>` gauges, histograms
+/// `subex_<name>_seconds` summaries (quantile 0.5/0.9/0.99/0.999 labels
+/// plus `_sum`/`_count`, nanoseconds converted to seconds). Dots and any
+/// other characters outside [a-zA-Z0-9_:] in instrument names map to '_'.
+std::string RenderPrometheusText(const MetricsRegistry& registry);
+
+/// Same, over an already-taken snapshot.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace subex
+
+#endif  // SUBEX_OBS_PROMETHEUS_H_

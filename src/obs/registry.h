@@ -1,6 +1,7 @@
 #ifndef SUBEX_OBS_REGISTRY_H_
 #define SUBEX_OBS_REGISTRY_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -9,6 +10,14 @@
 #include "obs/metrics.h"
 
 namespace subex {
+
+/// Point-in-time copy of every instrument in a registry — plain data for
+/// renderers (Prometheus text, JSON) that shouldn't iterate live maps.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
 
 /// Named home of every counter/gauge/histogram in the process. `Get*` is a
 /// find-or-create behind one mutex — callers look an instrument up once
@@ -33,6 +42,9 @@ class MetricsRegistry {
   /// names in lexicographic order (deterministic output for tests and
   /// diffable bench reports). Histograms render their snapshot JSON.
   std::string ToJson() const;
+
+  /// Copies every instrument's current value, names sorted.
+  MetricsSnapshot Snapshot() const;
 
   /// Zeroes every registered instrument, keeping registrations (and thus
   /// the references callers hold) intact — e.g. between benchmark phases.

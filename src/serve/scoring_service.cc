@@ -4,7 +4,10 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/json.h"
+#include "obs/event_log.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace subex {
 namespace {
@@ -92,6 +95,13 @@ ScoreVectorPtr ScoringService::Score(const Subspace& subspace) {
 
   if (!leader) {
     stats_->RecordDedupJoin();
+    // A stampede: this caller blocks on another thread's in-flight compute.
+    SUBEX_EVENT(EventSeverity::kDebug, "cache.single_flight_join",
+                JsonObject()
+                    .Add("detector", detector_name_)
+                    .Add("subspace_dims",
+                         static_cast<std::uint64_t>(key.subspace.size()))
+                    .Build());
     return future.get();
   }
   return ComputeAndPublish(key, promise);
@@ -117,6 +127,9 @@ ScoreVectorPtr ScoringService::ComputeAndPublish(
   stats_->RecordComputeNs(compute_ns);
   score_histogram_->Record(compute_ns);
   detector_histogram_->Record(compute_ns);
+  // Attach the compute interval to the calling request's trace (the server
+  // installs it around ComputeResponse); orphan span otherwise.
+  RecordCompletedSpan("detect.score", start, compute_ns);
   stats_->RecordMiss();
   // Publish to the cache *before* retiring the in-flight entry so a request
   // arriving in between always finds one of the two — never a gap that

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
@@ -410,6 +411,203 @@ TEST_F(ExplainServerTest, IdleConnectionsAreTimedOut) {
   EXPECT_TRUE(WaitFor([&] { return server_->stats().timeouts >= 1; }))
       << "an idle connection should be reaped";
 }
+
+TEST_F(ExplainServerTest, MalformedTraceHeaderGetsErrorNotCrash) {
+  StartServer();
+  std::string error;
+  Socket raw = ConnectTcp("127.0.0.1", server_->port(), 2000, &error);
+  ASSERT_TRUE(raw.valid()) << error;
+  // A 10-byte kScore header with the trace flag set but no trace id bytes:
+  // the header decoder must reject it (sticky reader error), the server
+  // must answer kError and close — never read past the frame.
+  WireWriter writer;
+  writer.PutU8(kProtocolVersion);
+  writer.PutU8(static_cast<std::uint8_t>(MessageType::kScore) | kTraceIdFlag);
+  writer.PutU64(1);
+  const std::vector<std::uint8_t> frame = EncodeFrame(writer.bytes());
+  ASSERT_TRUE(SendAll(raw.fd(), frame.data(), frame.size(), 1000, &error))
+      << error;
+  std::uint8_t buf[256];
+  bool saw_eof = false;
+  for (int i = 0; i < 100 && !saw_eof; ++i) {
+    std::size_t received = 0;
+    if (!RecvSome(raw.fd(), buf, sizeof(buf), 100, &received, &error)) break;
+    if (received == 0) saw_eof = true;
+  }
+  EXPECT_TRUE(saw_eof);
+  EXPECT_TRUE(WaitFor([&] { return server_->stats().protocol_errors >= 1; }));
+  // The server survived: a well-formed client still gets served.
+  ExplainClient client = MakeClient();
+  EXPECT_TRUE(client.Score("LOF", Subspace({0, 1})).ok());
+}
+
+/// Scrapes `GET path` from the server's HTTP metrics listener and returns
+/// the raw response (empty on connect failure).
+std::string HttpGet(std::uint16_t port, const std::string& path) {
+  std::string error;
+  Socket sock = ConnectTcp("127.0.0.1", port, 2000, &error);
+  if (!sock.valid()) return "";
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  if (!SendAll(sock.fd(), reinterpret_cast<const std::uint8_t*>(request.data()),
+               request.size(), 1000, &error)) {
+    return "";
+  }
+  std::string response;
+  std::uint8_t buf[4096];
+  for (int i = 0; i < 100; ++i) {
+    std::size_t received = 0;
+    if (!RecvSome(sock.fd(), buf, sizeof(buf), 500, &received, &error)) break;
+    if (received == 0) break;  // Connection: close.
+    response.append(reinterpret_cast<const char*>(buf), received);
+  }
+  return response;
+}
+
+TEST_F(ExplainServerTest, MetricsEndpointServesPrometheusText) {
+  ExplainServerOptions options;
+  options.metrics_port = 0;  // Ephemeral.
+  StartServer(options);
+  ASSERT_NE(server_->metrics_port(), 0);
+
+  ExplainClient client = MakeClient();
+  ASSERT_TRUE(client.Score("LOF", Subspace({0, 1})).ok());
+
+  const std::string response = HttpGet(server_->metrics_port(), "/metrics");
+#ifndef SUBEX_OBS_DISABLED
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("subex_serve_request_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(response.find("subex_server_uptime_seconds"), std::string::npos);
+#else
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos) << response;
+#endif
+
+  // Unknown paths 404, non-GET methods 405; both leave the server healthy.
+  EXPECT_NE(HttpGet(server_->metrics_port(), "/nope").find("404"),
+            std::string::npos);
+  EXPECT_TRUE(client.Score("LOF", Subspace({0, 2})).ok());
+}
+
+TEST_F(ExplainServerTest, StatsCarriesUptimeAndBuildInfo) {
+  StartServer();
+  ExplainClient client = MakeClient();
+  const ExplainClient::StatsReply reply = client.Stats();
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_NE(reply.json.find("\"uptime_seconds\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"build_info\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"obs_enabled\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"events\""), std::string::npos);
+}
+
+#ifndef SUBEX_OBS_DISABLED
+
+/// Formats an id the way the exporters do ("0x%016llx").
+std::string HexId(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+// The tentpole acceptance test: a client-generated trace id propagates over
+// the wire and reappears verbatim in the server's Chrome-trace export, on
+// spans covering the whole server-side pipeline.
+TEST_F(ExplainServerTest, ClientTraceIdSurfacesInTraceDump) {
+  StartServer();
+  ExplainClient client = MakeClient();
+  ASSERT_TRUE(client.Score("LOF", Subspace({0, 1})).ok());
+  const std::uint64_t trace_id = client.last_trace_id();
+  ASSERT_NE(trace_id, 0u);
+
+  const ExplainClient::TraceDumpReply dump = client.TraceDump();
+  ASSERT_TRUE(dump.ok()) << dump.error;
+  EXPECT_NE(dump.json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(dump.json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(dump.json.find(HexId(trace_id)), std::string::npos)
+      << "client trace id " << HexId(trace_id)
+      << " missing from server export";
+  // The request's server-side stages are all present.
+  EXPECT_NE(dump.json.find("\"serve.request\""), std::string::npos);
+  EXPECT_NE(dump.json.find("\"serve.queue_wait\""), std::string::npos);
+  EXPECT_NE(dump.json.find("\"detect.score\""), std::string::npos);
+  EXPECT_NE(dump.json.find("\"net.write\""), std::string::npos);
+}
+
+TEST_F(ExplainServerTest, TraceDumpWithClearResetsTheCollector) {
+  StartServer();
+  ExplainClient client = MakeClient();
+  ASSERT_TRUE(client.Score("LOF", Subspace({0, 1})).ok());
+  const std::uint64_t first_id = client.last_trace_id();
+  ASSERT_TRUE(client.TraceDump(/*clear=*/true).ok());
+
+  ASSERT_TRUE(client.Score("LOF", Subspace({0, 2})).ok());
+  const std::uint64_t second_id = client.last_trace_id();
+  const ExplainClient::TraceDumpReply dump = client.TraceDump();
+  ASSERT_TRUE(dump.ok()) << dump.error;
+  EXPECT_EQ(dump.json.find(HexId(first_id)), std::string::npos)
+      << "cleared spans must not reappear";
+  EXPECT_NE(dump.json.find(HexId(second_id)), std::string::npos);
+}
+
+TEST_F(ExplainServerTest, DistinctRequestsGetDistinctTraceIds) {
+  // Per-connection Trace objects are pooled and reused; ids must not leak
+  // from one request into the next.
+  StartServer();
+  ExplainClient client = MakeClient();
+  ASSERT_TRUE(client.Score("LOF", Subspace({0, 1})).ok());
+  const std::uint64_t first = client.last_trace_id();
+  ASSERT_TRUE(client.Score("LOF", Subspace({0, 2})).ok());
+  const std::uint64_t second = client.last_trace_id();
+  EXPECT_NE(first, second);
+  const ExplainClient::TraceDumpReply dump = client.TraceDump();
+  ASSERT_TRUE(dump.ok());
+  EXPECT_NE(dump.json.find(HexId(first)), std::string::npos);
+  EXPECT_NE(dump.json.find(HexId(second)), std::string::npos);
+}
+
+TEST_F(ExplainServerTest, UntracedClientsStillGetServerSideSpans) {
+  StartServer();
+  ExplainClientOptions no_tracing;
+  no_tracing.enable_tracing = false;
+  ExplainClient client = MakeClient(no_tracing);
+  ASSERT_TRUE(client.Score("LOF", Subspace({0, 1})).ok());
+  EXPECT_EQ(client.last_trace_id(), 0u);
+  // The server assigns its own trace id when the wire header carries none.
+  const ExplainClient::TraceDumpReply dump = client.TraceDump();
+  ASSERT_TRUE(dump.ok()) << dump.error;
+  EXPECT_NE(dump.json.find("\"serve.request\""), std::string::npos);
+}
+
+TEST_F(ExplainServerTest, SlowRequestsRetainTheirSpanBreakdown) {
+  ExplainServerOptions options;
+  options.slow_request_threshold_ms = 0.000001;  // Everything is "slow".
+  StartServer(options);
+  ExplainClient client = MakeClient();
+  ASSERT_TRUE(client.Score("LOF", Subspace({0, 1})).ok());
+  const ExplainClient::StatsReply reply = client.Stats();
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_NE(reply.json.find("\"slow_requests\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"label\":\"score\""), std::string::npos);
+  EXPECT_NE(reply.json.find("\"spans\""), std::string::npos);
+}
+
+TEST_F(ExplainServerTest, IdleTimeoutEmitsAStructuredEvent) {
+  ExplainServerOptions options;
+  options.idle_timeout_ms = 50;
+  StartServer(options);
+  ExplainClient client = MakeClient();
+  ASSERT_TRUE(client.Score("LOF", Subspace({0, 1})).ok());
+  // Leave the connection open and idle so the sweep reaps it.
+  ASSERT_TRUE(WaitFor([&] { return server_->stats().timeouts >= 1; }));
+  ExplainClient prober = MakeClient();
+  const ExplainClient::StatsReply reply = prober.Stats();
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_NE(reply.json.find("serve.idle_timeout"), std::string::npos);
+}
+
+#endif  // SUBEX_OBS_DISABLED
 
 TEST(ServerStatsSnapshotTest, ToJsonContainsEveryCounter) {
   ServerStatsSnapshot snap;

@@ -232,9 +232,113 @@ TEST(ProtocolTest, RequestTypePredicate) {
   EXPECT_TRUE(IsRequestType(MessageType::kScore));
   EXPECT_TRUE(IsRequestType(MessageType::kExplain));
   EXPECT_TRUE(IsRequestType(MessageType::kStats));
+  EXPECT_TRUE(IsRequestType(MessageType::kTraceDump));
   EXPECT_FALSE(IsRequestType(MessageType::kScoreResult));
   EXPECT_FALSE(IsRequestType(MessageType::kBusy));
   EXPECT_FALSE(IsRequestType(MessageType::kError));
+}
+
+// --------------------------------------------------------------------------
+// Trace-id header extension: untraced frames must be byte-identical to the
+// pre-extension format, traced frames must round-trip the id, and corrupt
+// trace headers must fail cleanly.
+
+TEST(ProtocolTest, UntracedFramesKeepTheOldFixedHeaderFormat) {
+  ScoreRequest request;
+  request.detector = "LOF";
+  request.subspace = Subspace({0, 1});
+  const std::vector<std::uint8_t> payload = EncodeScoreRequest(3, request);
+  // Old format: version byte, bare type byte (high bit clear), 8-byte id.
+  EXPECT_EQ(payload[0], kProtocolVersion);
+  EXPECT_EQ(payload[1], static_cast<std::uint8_t>(MessageType::kScore));
+  EXPECT_EQ(payload[1] & kTraceIdFlag, 0);
+
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_FALSE(header.has_trace_id);
+  EXPECT_EQ(header.trace_id, 0u);
+  EXPECT_EQ(EncodedHeaderBytes(header), kMessageHeaderBytes);
+  ScoreRequest back;
+  EXPECT_TRUE(DecodeScoreRequest(reader, &back));
+}
+
+TEST(ProtocolTest, TracedRequestRoundTripsTheTraceId) {
+  constexpr std::uint64_t kTraceId = 0xfeedfacecafebeefULL;
+  ExplainRequest request;
+  request.detector = "LOF";
+  request.explainer = "Beam";
+  const std::vector<std::uint8_t> payload =
+      EncodeExplainRequest(11, request, kTraceId);
+  EXPECT_EQ(payload[1],
+            static_cast<std::uint8_t>(MessageType::kExplain) | kTraceIdFlag);
+
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_EQ(header.type, MessageType::kExplain);
+  EXPECT_TRUE(header.has_trace_id);
+  EXPECT_EQ(header.trace_id, kTraceId);
+  EXPECT_EQ(EncodedHeaderBytes(header), kMessageHeaderBytes + 8);
+  ExplainRequest back;
+  ASSERT_TRUE(DecodeExplainRequest(reader, &back));
+  EXPECT_EQ(back.detector, "LOF");
+}
+
+TEST(ProtocolTest, TraceIdZeroEncodesAsUntraced) {
+  // 0 is the "no trace" sentinel: the flag must not be set, so the frame
+  // stays byte-identical to one from a pre-extension client.
+  const std::vector<std::uint8_t> with = EncodeStatsRequest(9, 0);
+  const std::vector<std::uint8_t> without = EncodeStatsRequest(9);
+  EXPECT_EQ(with, without);
+  EXPECT_EQ(with[1] & kTraceIdFlag, 0);
+}
+
+TEST(ProtocolTest, TruncatedTraceHeaderTripsTheReaderError) {
+  ScoreRequest request;
+  request.detector = "LOF";
+  request.subspace = Subspace({0});
+  std::vector<std::uint8_t> payload = EncodeScoreRequest(1, request, 77);
+  // Flagged header but the frame ends inside the trace id bytes.
+  payload.resize(kMessageHeaderBytes + 4);
+  WireReader reader(payload);
+  MessageHeader header;
+  EXPECT_FALSE(DecodeHeader(reader, &header));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ProtocolTest, FlagOnlyHeaderWithNoBodyFailsCleanly) {
+  // A malicious 10-byte frame with the trace flag set but nothing after
+  // the fixed header: decoding must fail, not read out of bounds.
+  WireWriter writer;
+  writer.PutU8(kProtocolVersion);
+  writer.PutU8(static_cast<std::uint8_t>(MessageType::kScore) | kTraceIdFlag);
+  writer.PutU64(123);
+  WireReader reader(writer.bytes());
+  MessageHeader header;
+  EXPECT_FALSE(DecodeHeader(reader, &header));
+}
+
+TEST(ProtocolTest, TraceDumpRequestRoundTrip) {
+  TraceDumpRequest request;
+  request.clear = true;
+  const std::vector<std::uint8_t> payload = EncodeTraceDumpRequest(4, request);
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_EQ(header.type, MessageType::kTraceDump);
+  TraceDumpRequest back;
+  ASSERT_TRUE(DecodeTraceDumpRequest(reader, &back));
+  EXPECT_TRUE(back.clear);
+
+  const std::vector<std::uint8_t> result =
+      EncodeTraceDumpResult(4, TextResult{"{\"traceEvents\":[]}"});
+  WireReader result_reader(result);
+  ASSERT_TRUE(DecodeHeader(result_reader, &header));
+  EXPECT_EQ(header.type, MessageType::kTraceDumpResult);
+  TextResult text;
+  ASSERT_TRUE(DecodeTextResult(result_reader, &text));
+  EXPECT_EQ(text.text, "{\"traceEvents\":[]}");
 }
 
 }  // namespace

@@ -261,28 +261,99 @@ TEST(TraceSpanTest, NullTargetsDisarmTheSpan) {
   EXPECT_EQ(span.Stop(), 0u);
 }
 
-TEST(TraceSpanTest, FeedsTraceStagesInOrder) {
+TEST(TraceSpanTest, FeedsTraceSpansInOrder) {
   Trace trace;
   Histogram histogram;
   { TraceSpan span(&histogram, &trace, "decode"); }
   { TraceSpan span(nullptr, &trace, "compute"); }
-  ASSERT_EQ(trace.stages().size(), 2u);
-  EXPECT_EQ(trace.stages()[0].first, "decode");
-  EXPECT_EQ(trace.stages()[1].first, "compute");
+  ASSERT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.spans()[0].name, "decode");
+  EXPECT_EQ(trace.spans()[1].name, "compute");
+  // Both are roots (opened and closed sequentially, never nested).
+  EXPECT_EQ(trace.spans()[0].parent_id, 0u);
+  EXPECT_EQ(trace.spans()[1].parent_id, 0u);
   EXPECT_EQ(histogram.snapshot().count, 1u);
-  EXPECT_GE(trace.TotalNs(),
-            trace.stages()[0].second);  // Total sums the stages.
+  EXPECT_GE(trace.TotalNs(), trace.spans()[0].duration_ns);
 }
 
-TEST(TraceSpanTest, TraceToJsonListsStages) {
+TEST(TraceSpanTest, NestedSpansGetParentIds) {
   Trace trace;
-  trace.Record("queue_wait", 1500000);  // 1.5 ms.
-  trace.Record("score", 250000);
+  {
+    TraceSpan outer(nullptr, &trace, "request");
+    TraceSpan inner(nullptr, &trace, "score");
+  }  // inner closes first (reverse declaration order), then outer.
+  ASSERT_EQ(trace.spans().size(), 2u);
+  const Trace::Span& outer = trace.spans()[0];
+  const Trace::Span& inner = trace.spans()[1];
+  EXPECT_EQ(outer.name, "request");
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_NE(outer.span_id, 0u);
+  EXPECT_EQ(inner.parent_id, outer.span_id);
+  // TotalNs counts roots only — the child is inside its parent.
+  EXPECT_EQ(trace.TotalNs(), outer.duration_ns);
+}
+
+TEST(TraceSpanTest, TraceToJsonListsSpans) {
+  Trace trace;
+  trace.set_trace_id(0xabcdef);
+  trace.Record("queue_wait", 1000, 1500000);  // 1.5 ms.
+  trace.Record("score", 2000, 250000);
   const std::string json = trace.ToJson();
-  EXPECT_NE(json.find("\"queue_wait\":1.5"), std::string::npos);
-  EXPECT_NE(json.find("\"score\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"0x0000000000abcdef\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur_ms\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"dur_ms\":0.25"), std::string::npos);
   trace.Clear();
-  EXPECT_TRUE(trace.stages().empty());
+  EXPECT_TRUE(trace.spans().empty());
+  EXPECT_EQ(trace.trace_id(), 0u);  // Clear resets the id for pooling.
+}
+
+TEST(TraceSpanTest, CurrentTraceFollowsContextScopes) {
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  Trace trace;
+  {
+    TraceContext context(&trace);
+    EXPECT_EQ(CurrentTrace(), &trace);
+    // A named span with no explicit trace attaches to the current one.
+    { TraceSpan span(nullptr, nullptr, "detect.score"); }
+    ASSERT_EQ(trace.spans().size(), 1u);
+    EXPECT_EQ(trace.spans()[0].name, "detect.score");
+  }
+  EXPECT_EQ(CurrentTrace(), nullptr);  // Restored on scope exit.
+}
+
+TEST(TraceSpanTest, IdGeneratorsNeverReturnZeroOrRepeat) {
+  const std::uint64_t a = NextTraceId();
+  const std::uint64_t b = NextTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(NextSpanId(), NextSpanId());
+}
+
+// --------------------------------------------------------------------------
+// Snapshot extensions (p99.9 + count-weighted mean).
+
+TEST(HistogramTest, SnapshotCarriesP999AndWeightedMean) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  h.Record(50000000);  // One 50 ms outlier among a hundred 1 us samples.
+  const HistogramSnapshot snap = h.snapshot();
+  // Rank ceil(0.999 * 101) = 101 — the outlier's bucket; p50 stays at the
+  // bulk. Both within the 12.5% bucket error.
+  EXPECT_NEAR(snap.ValueAtQuantile(0.999), 50000000.0, 50000000.0 * 0.125);
+  EXPECT_NEAR(snap.ValueAtQuantile(0.5), 1000.0, 1000.0 * 0.125);
+  // The weighted mean approximates the true mean within bucket error.
+  const double true_mean = (100.0 * 1000.0 + 50000000.0) / 101.0;
+  EXPECT_NEAR(snap.WeightedMeanNs(), true_mean, true_mean * 0.125);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"p999_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"wmean_ms\""), std::string::npos);
+}
+
+TEST(HistogramTest, WeightedMeanOfEmptySnapshotIsZero) {
+  EXPECT_DOUBLE_EQ(Histogram().snapshot().WeightedMeanNs(), 0.0);
 }
 
 #endif  // SUBEX_OBS_DISABLED

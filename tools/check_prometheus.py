@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) document.
+
+Used by CI to check what GET /metrics serves; stdlib only.
+
+    check_prometheus.py [file] [--require name ...]
+
+Reads the document from `file` (or stdin), validates its syntax line by
+line, and exits non-zero on the first violation. `--require` additionally
+asserts that each named metric has at least one sample (the name is matched
+against the sample name, so `subex_server_uptime_seconds` matches both a
+gauge of that name and a summary's `_sum`/`_count` rows if you name them
+explicitly).
+
+Checked per the format spec:
+  * `# HELP <name> <docstring>` and `# TYPE <name> <type>` comment syntax,
+    with <type> one of counter/gauge/histogram/summary/untyped.
+  * At most one TYPE line per metric, appearing before its first sample.
+  * Sample lines `name{labels} value [timestamp]` with metric and label
+    names matching [a-zA-Z_:][a-zA-Z0-9_:]* (':' is invalid in label
+    names), label values with proper \\ \" \\n escaping, and values that
+    parse as Go floats (including +Inf/-Inf/NaN).
+  * Samples of a summary-typed metric are only the base name with an
+    optional `quantile` label, `_sum`, or `_count` (histogram: `_bucket`
+    with `le`, `_sum`, `_count`).
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*$"
+)
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def fail(line_no, line, message):
+    sys.stderr.write(f"line {line_no}: {message}\n  {line}\n")
+    sys.exit(1)
+
+
+def parse_labels(raw, line_no, line):
+    """Splits `a="x",b="y"` respecting escapes; returns a dict."""
+    labels = {}
+    i = 0
+    while i < len(raw):
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', raw[i:])
+        if not match:
+            fail(line_no, line, f"bad label syntax at ...{raw[i:]!r}")
+        name = match.group(1)
+        i += match.end()
+        value = []
+        while i < len(raw) and raw[i] != '"':
+            if raw[i] == "\\":
+                if i + 1 >= len(raw) or raw[i + 1] not in '\\"n':
+                    fail(line_no, line, "bad escape in label value")
+                i += 1
+            value.append(raw[i])
+            i += 1
+        if i >= len(raw):
+            fail(line_no, line, "unterminated label value")
+        i += 1  # Closing quote.
+        labels[name] = "".join(value)
+        if i < len(raw):
+            if raw[i] != ",":
+                fail(line_no, line, f"expected ',' between labels, got {raw[i]!r}")
+            i += 1
+    return labels
+
+
+def parse_value(text, line_no, line):
+    if text in ("+Inf", "-Inf", "Inf", "NaN"):
+        return
+    try:
+        float(text)
+    except ValueError:
+        fail(line_no, line, f"bad sample value {text!r}")
+
+
+def base_name(sample_name, typed):
+    """The TYPE-line name a sample belongs to, given the typed metrics."""
+    for suffix in ("_bucket", "_sum", "_count", ""):
+        if sample_name.endswith(suffix) and sample_name[: len(sample_name) - len(suffix)] in typed:
+            return sample_name[: len(sample_name) - len(suffix)], suffix
+    return sample_name, ""
+
+
+def main():
+    argv = sys.argv[1:]
+    required = []
+    if "--require" in argv:
+        split = argv.index("--require")
+        required = argv[split + 1 :]
+        argv = argv[:split]
+    text = open(argv[0], encoding="utf-8").read() if argv else sys.stdin.read()
+
+    types = {}  # metric name -> declared type
+    sampled = set()  # metric names that already have samples
+    sample_names = set()
+    samples = 0
+
+    for line_no, line in enumerate(text.split("\n"), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # Arbitrary comments are legal.
+            if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                fail(line_no, line, f"bad metric name in {parts[1]} comment")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in TYPES:
+                    fail(line_no, line, "TYPE must name one of " + "/".join(sorted(TYPES)))
+                if parts[2] in types:
+                    fail(line_no, line, f"duplicate TYPE for {parts[2]}")
+                if parts[2] in sampled:
+                    fail(line_no, line, f"TYPE for {parts[2]} after its samples")
+                types[parts[2]] = parts[3]
+            continue
+
+        match = SAMPLE.match(line)
+        if not match:
+            fail(line_no, line, "unparseable sample line")
+        name = match.group("name")
+        labels = parse_labels(match.group("labels") or "", line_no, line)
+        parse_value(match.group("value"), line_no, line)
+        for label in labels:
+            if not LABEL_NAME.match(label):
+                fail(line_no, line, f"bad label name {label!r}")
+
+        base, suffix = base_name(name, types)
+        declared = types.get(base)
+        if declared == "summary":
+            if suffix not in ("", "_sum", "_count"):
+                fail(line_no, line, f"sample {name} is not a legal summary series")
+            if suffix in ("_sum", "_count") and "quantile" in labels:
+                fail(line_no, line, f"{name} must not carry a quantile label")
+            if suffix == "" and "quantile" in labels:
+                parse_value(labels["quantile"], line_no, line)
+        elif declared == "histogram":
+            if suffix not in ("_bucket", "_sum", "_count"):
+                fail(line_no, line, f"sample {name} is not a legal histogram series")
+            if suffix == "_bucket" and "le" not in labels:
+                fail(line_no, line, f"{name} bucket sample is missing its le label")
+        sampled.add(base)
+        sample_names.add(name)
+        samples += 1
+
+    missing = [name for name in required if name not in sample_names]
+    if missing:
+        sys.stderr.write("required metrics missing: " + ", ".join(missing) + "\n")
+        sys.exit(1)
+    print(f"ok: {samples} samples, {len(types)} typed metrics")
+
+
+if __name__ == "__main__":
+    main()

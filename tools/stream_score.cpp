@@ -5,6 +5,11 @@
 //                [--budget-mb N] [--subspace 0,1,2] [--k K]
 //                [--projections P] [--queries poi|all|3,17,99]
 //                [--check-ram] [--stats] [--json]
+//                [--trace-out trace.json]
+//
+// --trace-out enables the process SpanCollector, wraps the streamed scoring
+// in a `stream.score` span, and writes everything collected as Chrome
+// trace-event JSON loadable in Perfetto or chrome://tracing.
 //
 // Scoring streams column chunks through the process-wide EvictionManager
 // (budget set via --budget-mb), so peak memory stays bounded no matter the
@@ -32,6 +37,8 @@
 #include "detect/loda.h"
 #include "detect/lof.h"
 #include "mem/eviction_manager.h"
+#include "obs/span_collector.h"
+#include "obs/trace.h"
 #include "subspace/subspace.h"
 
 namespace {
@@ -47,6 +54,7 @@ struct Flags {
   bool check_ram = false;
   bool stats = false;
   bool json = false;
+  std::string trace_out;
 };
 
 int Usage() {
@@ -55,7 +63,8 @@ int Usage() {
       "usage: stream_score --data <file.cols> [--detector knn|loda|lof]\n"
       "                    [--budget-mb N] [--subspace 0,1,2] [--k K]\n"
       "                    [--projections P] [--queries poi|all|ids,...]\n"
-      "                    [--check-ram] [--stats] [--json]\n");
+      "                    [--check-ram] [--stats] [--json]\n"
+      "                    [--trace-out trace.json]\n");
   return 2;
 }
 
@@ -93,6 +102,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->stats = true;
     } else if (arg == "--json") {
       flags->json = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      flags->trace_out = argv[++i];
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -115,6 +126,10 @@ int main(int argc, char** argv) {
 
   subex::EvictionManager& manager = subex::EvictionManager::Global();
   manager.SetBudget(flags.budget_mb << 20);
+  if (!flags.trace_out.empty()) {
+    subex::SpanCollector::Global().Enable(
+        /*ring_capacity_per_thread=*/1 << 14);
+  }
 
   auto open = subex::ChunkedDataset::Open(flags.data);
   if (!open.ok) {
@@ -166,6 +181,9 @@ int main(int argc, char** argv) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)
           .count();
+  subex::RecordCompletedSpan(
+      "stream.score", start,
+      static_cast<std::uint64_t>(elapsed_ms * 1e6));
 
   // Cross-check: load the whole file into RAM and compare bitwise. LODA
   // scores all points; the distance detectors are compared at the queried
@@ -240,6 +258,18 @@ int main(int argc, char** argv) {
                   identical ? "bitwise identical" : "MISMATCH");
     }
     if (flags.stats) std::printf("mem: %s\n", snapshot.ToJson().c_str());
+  }
+  if (!flags.trace_out.empty()) {
+    const std::string trace_json =
+        subex::SpanCollector::Global().ToChromeTraceJson();
+    std::FILE* file = std::fopen(flags.trace_out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   flags.trace_out.c_str());
+      return 1;
+    }
+    std::fwrite(trace_json.data(), 1, trace_json.size(), file);
+    std::fclose(file);
   }
   return (checked && !identical) ? 1 : 0;
 }
