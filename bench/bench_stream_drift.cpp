@@ -7,7 +7,7 @@
 // cost — the quantity that motivates the paper's interest in cheaper
 // predictive explanations.
 //
-// Usage: bench_stream_drift [--full] [--seed N]
+// Usage: bench_stream_drift [--full] [--seed N] [--json out.json]
 
 #include "bench_util.h"
 
@@ -60,5 +60,31 @@ int main(int argc, char** argv) {
       "collapses after the first drift while per-chunk recomputation\n"
       "recovers -- subspace explanations are descriptive and must be\n"
       "re-executed for every new batch (paper, section 6).\n");
+
+  const std::string json_path = bench::FlagValue(argc, argv, "--json");
+  if (!json_path.empty()) {
+    bench::JsonTimingReport report;
+    report.SetMeta(
+        JsonObject()
+            .Add("bench", "stream_drift")
+            .Add("profile", profile.name)
+            .Add("seed", static_cast<std::uint64_t>(config.seed))
+            .Add("chunks", chunks)
+            .Add("post_drift_chunks", post_drift)
+            .Add("post_drift_map_recomputed",
+                 post_drift > 0 ? fresh_sum / post_drift : 0.0)
+            .Add("post_drift_map_frozen",
+                 post_drift > 0 ? stale_sum / post_drift : 0.0));
+    for (const StreamingChunkResult& r : results) {
+      report.AddRow(JsonObject()
+                        .Add("chunk", r.chunk_index)
+                        .Add("concept_epoch", r.concept_epoch)
+                        .Add("num_points", r.num_points)
+                        .Add("map_recomputed", r.map_recomputed)
+                        .Add("map_frozen", r.map_stale)
+                        .Add("seconds_recompute", r.seconds_recompute));
+    }
+    report.WriteTo(json_path);
+  }
   return 0;
 }

@@ -285,6 +285,118 @@ ExplainClient::StatsReply ExplainClient::Stats() {
   return reply;
 }
 
+ExplainClient::IngestReply ExplainClient::Ingest(const std::string& dataset,
+                                                 std::uint32_t num_rows,
+                                                 std::vector<double> values) {
+  IngestReply reply;
+  IngestRequest request;
+  request.dataset = dataset;
+  request.num_rows = num_rows;
+  request.values = std::move(values);
+  const std::uint64_t id = next_request_id_++;
+  const std::uint64_t trace_id = BeginTrace();
+  MessageType type = MessageType::kError;
+  std::vector<std::uint8_t> body;
+  const auto start = std::chrono::steady_clock::now();
+  reply.status = RoundTrip(EncodeIngestRequest(id, request, trace_id), id,
+                           &type, &body, &reply.error);
+  RecordClientSpan("client.ingest", trace_id, start);
+  if (reply.status != ClientStatus::kOk) return reply;
+  WireReader reader(body);
+  if (type == MessageType::kError) {
+    TextResult text;
+    reply.status = ClientStatus::kServerError;
+    reply.error = DecodeTextResult(reader, &text) ? text.text
+                                                  : "undecodable kError body";
+    return reply;
+  }
+  if (type != MessageType::kIngestResult ||
+      !DecodeIngestResult(reader, &reply.result)) {
+    reply.status = ClientStatus::kTransportError;
+    reply.error = "unexpected response to kIngest";
+  }
+  return reply;
+}
+
+ExplainClient::OnlineScoreReply ExplainClient::OnlineScore(
+    const std::string& dataset, const std::string& detector,
+    const Subspace& subspace) {
+  OnlineScoreReply reply;
+  OnlineScoreRequest request;
+  request.dataset = dataset;
+  request.detector = detector;
+  request.subspace = subspace;
+  const std::uint64_t id = next_request_id_++;
+  const std::uint64_t trace_id = BeginTrace();
+  MessageType type = MessageType::kError;
+  std::vector<std::uint8_t> body;
+  const auto start = std::chrono::steady_clock::now();
+  reply.status = RoundTrip(EncodeOnlineScoreRequest(id, request, trace_id), id,
+                           &type, &body, &reply.error);
+  RecordClientSpan("client.online_score", trace_id, start);
+  if (reply.status != ClientStatus::kOk) return reply;
+  WireReader reader(body);
+  if (type == MessageType::kError) {
+    TextResult text;
+    reply.status = ClientStatus::kServerError;
+    reply.error = DecodeTextResult(reader, &text) ? text.text
+                                                  : "undecodable kError body";
+    return reply;
+  }
+  OnlineScoreResult result;
+  if (type != MessageType::kOnlineScoreResult ||
+      !DecodeOnlineScoreResult(reader, &result)) {
+    reply.status = ClientStatus::kTransportError;
+    reply.error = "unexpected response to kOnlineScore";
+    return reply;
+  }
+  reply.epoch = result.epoch;
+  reply.scores = std::move(result.scores);
+  return reply;
+}
+
+ExplainClient::OnlineExplainReply ExplainClient::OnlineExplain(
+    const std::string& dataset, const std::string& detector,
+    const std::string& explainer, int point, int target_dim,
+    std::uint32_t max_results) {
+  OnlineExplainReply reply;
+  OnlineExplainRequest request;
+  request.dataset = dataset;
+  request.detector = detector;
+  request.explainer = explainer;
+  request.point = point;
+  request.target_dim = target_dim;
+  request.max_results = max_results;
+  const std::uint64_t id = next_request_id_++;
+  const std::uint64_t trace_id = BeginTrace();
+  MessageType type = MessageType::kError;
+  std::vector<std::uint8_t> body;
+  const auto start = std::chrono::steady_clock::now();
+  reply.status = RoundTrip(EncodeOnlineExplainRequest(id, request, trace_id),
+                           id, &type, &body, &reply.error);
+  RecordClientSpan("client.online_explain", trace_id, start);
+  if (reply.status != ClientStatus::kOk) return reply;
+  WireReader reader(body);
+  if (type == MessageType::kError) {
+    TextResult text;
+    reply.status = ClientStatus::kServerError;
+    reply.error = DecodeTextResult(reader, &text) ? text.text
+                                                  : "undecodable kError body";
+    return reply;
+  }
+  OnlineExplainResult result;
+  if (type != MessageType::kOnlineExplainResult ||
+      !DecodeOnlineExplainResult(reader, &result)) {
+    reply.status = ClientStatus::kTransportError;
+    reply.error = "unexpected response to kOnlineExplain";
+    return reply;
+  }
+  reply.computed_epoch = result.computed_epoch;
+  reply.current_epoch = result.current_epoch;
+  reply.ranking = std::move(result.ranking);
+  return reply;
+}
+
 ExplainClient::TraceDumpReply ExplainClient::TraceDump(bool clear) {
   TraceDumpReply reply;
   TraceDumpRequest request;

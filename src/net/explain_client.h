@@ -101,6 +101,29 @@ class ExplainClient {
     std::string json;  ///< Chrome trace-event JSON (Perfetto-loadable).
     bool ok() const { return status == ClientStatus::kOk; }
   };
+  struct IngestReply {
+    ClientStatus status = ClientStatus::kTransportError;
+    std::string error;
+    IngestResult result;
+    bool ok() const { return status == ClientStatus::kOk; }
+  };
+  struct OnlineScoreReply {
+    ClientStatus status = ClientStatus::kTransportError;
+    std::string error;
+    std::uint64_t epoch = 0;
+    std::vector<double> scores;
+    bool ok() const { return status == ClientStatus::kOk; }
+  };
+  struct OnlineExplainReply {
+    ClientStatus status = ClientStatus::kTransportError;
+    std::string error;
+    std::uint64_t computed_epoch = 0;
+    std::uint64_t current_epoch = 0;
+    RankedSubspaces ranking;
+    bool ok() const { return status == ClientStatus::kOk; }
+    /// The window advanced between pinning and replying.
+    bool stale() const { return computed_epoch < current_epoch; }
+  };
 
   /// `kScore`: standardized score vector of `subspace` under `detector`.
   ScoreReply Score(const std::string& detector, const Subspace& subspace);
@@ -113,6 +136,20 @@ class ExplainClient {
   /// `kTraceDump`: the server's collected spans as Chrome trace-event JSON
   /// (`clear` resets the server's collector after the dump).
   TraceDumpReply TraceDump(bool clear = false);
+  /// `kIngest`: append row-major points to online dataset `dataset`
+  /// (`values.size()` must be a positive multiple of `num_rows`).
+  IngestReply Ingest(const std::string& dataset, std::uint32_t num_rows,
+                     std::vector<double> values);
+  /// `kOnlineScore`: standardized scores of the current window.
+  OnlineScoreReply OnlineScore(const std::string& dataset,
+                               const std::string& detector,
+                               const Subspace& subspace);
+  /// `kOnlineExplain`: explain window row `point`, with freshness epochs.
+  OnlineExplainReply OnlineExplain(const std::string& dataset,
+                                   const std::string& detector,
+                                   const std::string& explainer, int point,
+                                   int target_dim,
+                                   std::uint32_t max_results = 0);
 
   /// Trace id stamped on the most recent request (0 when tracing is off).
   /// Lets callers correlate a reply with the span that will surface in a

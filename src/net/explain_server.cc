@@ -122,6 +122,13 @@ ExplainServer::ExplainServer(const ExplainServerOptions& options,
           &MetricsRegistry::Global().GetHistogram("serve.request.explain")),
       stats_request_histogram_(
           &MetricsRegistry::Global().GetHistogram("serve.request.stats")),
+      ingest_request_histogram_(
+          &MetricsRegistry::Global().GetHistogram("serve.request.ingest")),
+      online_score_request_histogram_(&MetricsRegistry::Global().GetHistogram(
+          "serve.request.online_score")),
+      online_explain_request_histogram_(
+          &MetricsRegistry::Global().GetHistogram(
+              "serve.request.online_explain")),
       explain_search_histogram_(
           &MetricsRegistry::Global().GetHistogram("explain.search")),
       bytes_received_(
@@ -141,6 +148,10 @@ void ExplainServer::RegisterService(ScoringService& service) {
 void ExplainServer::RegisterExplainer(const std::string& name,
                                       const PointExplainer& explainer) {
   explainers_[name] = &explainer;
+}
+
+void ExplainServer::RegisterOnlineDataset(OnlineDataset& dataset) {
+  online_[dataset.name()] = &dataset;
 }
 
 bool ExplainServer::Start(std::string* error) {
@@ -667,6 +678,15 @@ void ExplainServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     case MessageType::kStats:
       stats_request_histogram_->Record(end_to_end_ns);
       break;
+    case MessageType::kIngest:
+      ingest_request_histogram_->Record(end_to_end_ns);
+      break;
+    case MessageType::kOnlineScore:
+      online_score_request_histogram_->Record(end_to_end_ns);
+      break;
+    case MessageType::kOnlineExplain:
+      online_explain_request_histogram_->Record(end_to_end_ns);
+      break;
     default:
       break;
   }
@@ -689,6 +709,15 @@ void ExplainServer::HandleRequest(const std::shared_ptr<Connection>& conn,
         break;
       case MessageType::kStats:
         label = "stats";
+        break;
+      case MessageType::kIngest:
+        label = "ingest";
+        break;
+      case MessageType::kOnlineScore:
+        label = "online_score";
+        break;
+      case MessageType::kOnlineExplain:
+        label = "online_explain";
         break;
       default:
         break;
@@ -722,6 +751,12 @@ std::vector<std::uint8_t> ExplainServer::ComputeResponse(
       return HandleStats(header.request_id);
     case MessageType::kTraceDump:
       return HandleTraceDump(header.request_id, reader);
+    case MessageType::kIngest:
+      return HandleIngest(header.request_id, reader);
+    case MessageType::kOnlineScore:
+      return HandleOnlineScore(header.request_id, reader);
+    case MessageType::kOnlineExplain:
+      return HandleOnlineExplain(header.request_id, reader);
     default:
       return EncodeError(header.request_id, "unsupported request type");
   }
@@ -824,12 +859,17 @@ std::vector<std::uint8_t> ExplainServer::HandleStats(std::uint64_t request_id) {
   const std::string slow_json =
       "{\"threshold_ms\":0,\"captured\":0,\"recent\":[]}";
 #endif
+  JsonObject online;
+  for (const auto& [name, dataset] : online_) {
+    online.AddRaw(name, dataset->stats().ToJson());
+  }
   TextResult result;
   result.text = JsonObject()
                     .Add("uptime_seconds", uptime_seconds)
                     .AddRaw("build_info", BuildInfoJson())
                     .AddRaw("server", stats().ToJson())
                     .AddRaw("services", services.Build())
+                    .AddRaw("online", online.Build())
                     .AddRaw("metrics", MetricsRegistry::Global().ToJson())
                     .AddRaw("mem", EvictionManager::Global().snapshot().ToJson())
                     .AddRaw("events", events_json)
@@ -853,6 +893,124 @@ std::vector<std::uint8_t> ExplainServer::HandleTraceDump(
   result.text = kEmptyChromeTrace;
 #endif
   return EncodeTraceDumpResult(request_id, result);
+}
+
+std::vector<std::uint8_t> ExplainServer::HandleIngest(std::uint64_t request_id,
+                                                      WireReader& reader) {
+  IngestRequest request;
+  if (!DecodeIngestRequest(reader, &request)) {
+    return EncodeError(request_id, "malformed kIngest body");
+  }
+  const auto it = online_.find(request.dataset);
+  if (it == online_.end()) {
+    return EncodeError(request_id,
+                       "unknown online dataset: " + request.dataset);
+  }
+  OnlineDataset& dataset = *it->second;
+  if (request.num_rows == 0) {
+    return EncodeError(request_id, "empty ingest");
+  }
+  const std::size_t width = request.values.size() / request.num_rows;
+  if (width != dataset.num_features()) {
+    return EncodeError(request_id, "ingest width mismatch");
+  }
+  Matrix rows(request.num_rows, width);
+  for (std::uint32_t r = 0; r < request.num_rows; ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      rows(r, c) = request.values[static_cast<std::size_t>(r) * width + c];
+    }
+  }
+  const OnlineDataset::IngestResult ingested = dataset.Append(rows);
+  IngestResult result;
+  result.accepted = static_cast<std::uint32_t>(ingested.accepted);
+  result.window_epoch = ingested.epoch;
+  result.window_size = ingested.window_size;
+  result.total_ingested = ingested.total_ingested;
+  result.advances = ingested.advances;
+  return EncodeIngestResult(request_id, result);
+}
+
+std::vector<std::uint8_t> ExplainServer::HandleOnlineScore(
+    std::uint64_t request_id, WireReader& reader) {
+  OnlineScoreRequest request;
+  if (!DecodeOnlineScoreRequest(reader, &request)) {
+    return EncodeError(request_id, "malformed kOnlineScore body");
+  }
+  const auto it = online_.find(request.dataset);
+  if (it == online_.end()) {
+    return EncodeError(request_id,
+                       "unknown online dataset: " + request.dataset);
+  }
+  OnlineDataset& dataset = *it->second;
+  if (!SubspaceInRange(request.subspace, dataset.num_features())) {
+    return EncodeError(request_id, "subspace feature out of range");
+  }
+  OnlineDataset::ScoredEpoch scored;
+  const OnlineDataset::Status status =
+      dataset.Score(request.detector, request.subspace, &scored);
+  if (status != OnlineDataset::Status::kOk) {
+    return EncodeError(request_id, OnlineDataset::StatusMessage(status));
+  }
+  OnlineScoreResult result;
+  result.epoch = scored.epoch;
+  result.scores = *scored.scores;
+  return EncodeOnlineScoreResult(request_id, result);
+}
+
+std::vector<std::uint8_t> ExplainServer::HandleOnlineExplain(
+    std::uint64_t request_id, WireReader& reader) {
+  OnlineExplainRequest request;
+  if (!DecodeOnlineExplainRequest(reader, &request)) {
+    return EncodeError(request_id, "malformed kOnlineExplain body");
+  }
+  const auto it = online_.find(request.dataset);
+  if (it == online_.end()) {
+    return EncodeError(request_id,
+                       "unknown online dataset: " + request.dataset);
+  }
+  OnlineDataset& dataset = *it->second;
+  if (!dataset.HasDetector(request.detector)) {
+    return EncodeError(request_id, "unknown detector: " + request.detector);
+  }
+  const auto explainer_it = explainers_.find(request.explainer);
+  if (explainer_it == explainers_.end()) {
+    return EncodeError(request_id, "unknown explainer: " + request.explainer);
+  }
+  // Everything below works on this pinned epoch; even if ingest keeps the
+  // window moving, the explanation is internally consistent for it.
+  const OnlineDataset::EpochSnapshot snapshot = dataset.Snapshot();
+  if (snapshot.data == nullptr ||
+      snapshot.data->num_points() < dataset.options().min_score_window) {
+    return EncodeError(
+        request_id,
+        OnlineDataset::StatusMessage(OnlineDataset::Status::kWindowTooSmall));
+  }
+  const Dataset& data = *snapshot.data;
+  if (request.point < 0 ||
+      static_cast<std::size_t>(request.point) >= data.num_points()) {
+    return EncodeError(request_id, "point index out of range");
+  }
+  if (request.target_dim < 2 ||
+      static_cast<std::size_t>(request.target_dim) > data.num_features()) {
+    return EncodeError(request_id, "target_dim out of range");
+  }
+  const PinnedEpochDetector pinned(dataset, snapshot, request.detector);
+  OnlineExplainResult result;
+  {
+    TraceSpan search(explain_search_histogram_, nullptr, "explain.search");
+    result.ranking = explainer_it->second->Explain(data, pinned, request.point,
+                                                   request.target_dim);
+  }
+  if (request.max_results > 0 && result.ranking.size() > request.max_results) {
+    result.ranking.subspaces.resize(request.max_results);
+    result.ranking.scores.resize(request.max_results);
+  }
+  result.computed_epoch = snapshot.epoch;
+  result.current_epoch = dataset.epoch();
+  if (result.computed_epoch < result.current_epoch) {
+    dataset.NoteStaleServe(result.computed_epoch, result.current_epoch);
+  }
+  return EncodeOnlineExplainResult(request_id, result);
 }
 
 void ExplainServer::EnqueueResponse(const std::shared_ptr<Connection>& conn,

@@ -17,6 +17,7 @@
 #include "net/socket.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "online/online_dataset.h"
 #include "serve/scoring_service.h"
 
 namespace subex {
@@ -116,6 +117,11 @@ class ExplainServer {
   /// server.
   void RegisterExplainer(const std::string& name,
                          const PointExplainer& explainer);
+  /// Exposes `dataset` under its name for `kIngest`/`kOnlineScore`/
+  /// `kOnlineExplain` (online explanations reuse the registered
+  /// explainers). Must outlive the server; register scorers on the dataset
+  /// before `Start`.
+  void RegisterOnlineDataset(OnlineDataset& dataset);
 
   /// Binds, listens and starts the event-loop thread. False + `*error` on
   /// failure (e.g. port in use).
@@ -176,6 +182,12 @@ class ExplainServer {
   std::vector<std::uint8_t> HandleStats(std::uint64_t request_id);
   std::vector<std::uint8_t> HandleTraceDump(std::uint64_t request_id,
                                             WireReader& reader);
+  std::vector<std::uint8_t> HandleIngest(std::uint64_t request_id,
+                                         WireReader& reader);
+  std::vector<std::uint8_t> HandleOnlineScore(std::uint64_t request_id,
+                                              WireReader& reader);
+  std::vector<std::uint8_t> HandleOnlineExplain(std::uint64_t request_id,
+                                                WireReader& reader);
   /// `trace_id`/`parent_span_id` label the response's eventual `net.write`
   /// span (0 = untraced).
   void EnqueueResponse(const std::shared_ptr<Connection>& conn,
@@ -190,6 +202,7 @@ class ExplainServer {
   ThreadPool* pool_;
   std::unordered_map<std::string, ScoringService*> services_;
   std::unordered_map<std::string, const PointExplainer*> explainers_;
+  std::unordered_map<std::string, OnlineDataset*> online_;
 
   Socket listener_;
   Socket metrics_listener_;
@@ -213,6 +226,9 @@ class ExplainServer {
   Histogram* score_request_histogram_;    ///< serve.request.score.
   Histogram* explain_request_histogram_;  ///< serve.request.explain.
   Histogram* stats_request_histogram_;    ///< serve.request.stats.
+  Histogram* ingest_request_histogram_;   ///< serve.request.ingest.
+  Histogram* online_score_request_histogram_;    ///< serve.request.online_score.
+  Histogram* online_explain_request_histogram_;  ///< serve.request.online_explain.
   Histogram* explain_search_histogram_;   ///< explain.search (handler side).
   Counter* bytes_received_;          ///< net.bytes_received.
   Counter* bytes_sent_;              ///< net.bytes_sent.

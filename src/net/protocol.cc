@@ -22,7 +22,9 @@ WireWriter BeginMessage(MessageType type, std::uint64_t request_id,
 
 bool IsRequestType(MessageType type) {
   return type == MessageType::kScore || type == MessageType::kExplain ||
-         type == MessageType::kStats || type == MessageType::kTraceDump;
+         type == MessageType::kStats || type == MessageType::kTraceDump ||
+         type == MessageType::kIngest || type == MessageType::kOnlineScore ||
+         type == MessageType::kOnlineExplain;
 }
 
 void EncodeSubspace(WireWriter& writer, const Subspace& subspace) {
@@ -75,6 +77,41 @@ std::vector<std::uint8_t> EncodeTraceDumpRequest(std::uint64_t request_id,
   return writer.Take();
 }
 
+std::vector<std::uint8_t> EncodeIngestRequest(std::uint64_t request_id,
+                                              const IngestRequest& request,
+                                              std::uint64_t trace_id) {
+  WireWriter writer = BeginMessage(MessageType::kIngest, request_id, trace_id);
+  writer.PutString(request.dataset);
+  writer.PutU32(request.num_rows);
+  writer.PutDoubles(request.values);
+  return writer.Take();
+}
+
+std::vector<std::uint8_t> EncodeOnlineScoreRequest(
+    std::uint64_t request_id, const OnlineScoreRequest& request,
+    std::uint64_t trace_id) {
+  WireWriter writer =
+      BeginMessage(MessageType::kOnlineScore, request_id, trace_id);
+  writer.PutString(request.dataset);
+  writer.PutString(request.detector);
+  EncodeSubspace(writer, request.subspace);
+  return writer.Take();
+}
+
+std::vector<std::uint8_t> EncodeOnlineExplainRequest(
+    std::uint64_t request_id, const OnlineExplainRequest& request,
+    std::uint64_t trace_id) {
+  WireWriter writer =
+      BeginMessage(MessageType::kOnlineExplain, request_id, trace_id);
+  writer.PutString(request.dataset);
+  writer.PutString(request.detector);
+  writer.PutString(request.explainer);
+  writer.PutI32(request.point);
+  writer.PutI32(request.target_dim);
+  writer.PutU32(request.max_results);
+  return writer.Take();
+}
+
 std::vector<std::uint8_t> EncodeScoreResult(std::uint64_t request_id,
                                             const ScoreResult& result) {
   WireWriter writer = BeginMessage(MessageType::kScoreResult, request_id);
@@ -105,6 +142,41 @@ std::vector<std::uint8_t> EncodeTraceDumpResult(std::uint64_t request_id,
                                                 const TextResult& result) {
   WireWriter writer = BeginMessage(MessageType::kTraceDumpResult, request_id);
   writer.PutString(result.text);
+  return writer.Take();
+}
+
+std::vector<std::uint8_t> EncodeIngestResult(std::uint64_t request_id,
+                                             const IngestResult& result) {
+  WireWriter writer = BeginMessage(MessageType::kIngestResult, request_id);
+  writer.PutU32(result.accepted);
+  writer.PutU64(result.window_epoch);
+  writer.PutU64(result.window_size);
+  writer.PutU64(result.total_ingested);
+  writer.PutU32(result.advances);
+  return writer.Take();
+}
+
+std::vector<std::uint8_t> EncodeOnlineScoreResult(
+    std::uint64_t request_id, const OnlineScoreResult& result) {
+  WireWriter writer =
+      BeginMessage(MessageType::kOnlineScoreResult, request_id);
+  writer.PutU64(result.epoch);
+  writer.PutDoubles(result.scores);
+  return writer.Take();
+}
+
+std::vector<std::uint8_t> EncodeOnlineExplainResult(
+    std::uint64_t request_id, const OnlineExplainResult& result) {
+  WireWriter writer =
+      BeginMessage(MessageType::kOnlineExplainResult, request_id);
+  writer.PutU64(result.computed_epoch);
+  writer.PutU64(result.current_epoch);
+  const RankedSubspaces& ranking = result.ranking;
+  writer.PutU32(static_cast<std::uint32_t>(ranking.size()));
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    EncodeSubspace(writer, ranking.subspaces[i]);
+    writer.PutDouble(ranking.scores[i]);
+  }
   return writer.Take();
 }
 
@@ -150,12 +222,69 @@ bool DecodeExplainRequest(WireReader& reader, ExplainRequest* out) {
   return reader.AtEnd();
 }
 
+bool DecodeIngestRequest(WireReader& reader, IngestRequest* out) {
+  out->dataset = reader.GetString();
+  out->num_rows = reader.GetU32();
+  out->values = reader.GetDoubles();
+  if (!reader.AtEnd()) return false;
+  // Row-major values must tile into exactly num_rows rows.
+  if (out->num_rows == 0) return out->values.empty();
+  return out->values.size() % out->num_rows == 0;
+}
+
+bool DecodeOnlineScoreRequest(WireReader& reader, OnlineScoreRequest* out) {
+  out->dataset = reader.GetString();
+  out->detector = reader.GetString();
+  return DecodeSubspace(reader, &out->subspace) && reader.AtEnd();
+}
+
+bool DecodeOnlineExplainRequest(WireReader& reader,
+                                OnlineExplainRequest* out) {
+  out->dataset = reader.GetString();
+  out->detector = reader.GetString();
+  out->explainer = reader.GetString();
+  out->point = reader.GetI32();
+  out->target_dim = reader.GetI32();
+  out->max_results = reader.GetU32();
+  return reader.AtEnd();
+}
+
 bool DecodeScoreResult(WireReader& reader, ScoreResult* out) {
   out->scores = reader.GetDoubles();
   return reader.AtEnd();
 }
 
 bool DecodeExplainResult(WireReader& reader, ExplainResult* out) {
+  const std::uint32_t count = reader.GetU32();
+  out->ranking = RankedSubspaces{};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Subspace subspace;
+    if (!DecodeSubspace(reader, &subspace)) return false;
+    const double score = reader.GetDouble();
+    if (!reader.ok()) return false;
+    out->ranking.Add(std::move(subspace), score);
+  }
+  return reader.AtEnd();
+}
+
+bool DecodeIngestResult(WireReader& reader, IngestResult* out) {
+  out->accepted = reader.GetU32();
+  out->window_epoch = reader.GetU64();
+  out->window_size = reader.GetU64();
+  out->total_ingested = reader.GetU64();
+  out->advances = reader.GetU32();
+  return reader.AtEnd();
+}
+
+bool DecodeOnlineScoreResult(WireReader& reader, OnlineScoreResult* out) {
+  out->epoch = reader.GetU64();
+  out->scores = reader.GetDoubles();
+  return reader.AtEnd();
+}
+
+bool DecodeOnlineExplainResult(WireReader& reader, OnlineExplainResult* out) {
+  out->computed_epoch = reader.GetU64();
+  out->current_epoch = reader.GetU64();
   const std::uint32_t count = reader.GetU32();
   out->ranking = RankedSubspaces{};
   for (std::uint32_t i = 0; i < count; ++i) {

@@ -25,11 +25,17 @@ enum class MessageType : std::uint8_t {
   kExplain = 2,    ///< Ranked explaining subspaces of one point.
   kStats = 3,      ///< Server + per-service counters as JSON.
   kTraceDump = 4,  ///< Collected spans as Chrome trace-event JSON.
+  kIngest = 5,         ///< Append rows to a named online dataset.
+  kOnlineScore = 6,    ///< Score the current window of an online dataset.
+  kOnlineExplain = 7,  ///< Explain a window row of an online dataset.
   // Responses (server → client).
   kScoreResult = 64,
   kExplainResult = 65,
   kStatsResult = 66,
   kTraceDumpResult = 67,
+  kIngestResult = 68,
+  kOnlineScoreResult = 69,
+  kOnlineExplainResult = 70,
   kBusy = 100,   ///< Request queue full — retry with backoff.
   kError = 101,  ///< Malformed or unserviceable request; body is a message.
 };
@@ -102,6 +108,61 @@ struct TraceDumpRequest {
   bool clear = false;
 };
 
+/// `kIngest`: append `num_rows` row-major points to the online dataset
+/// named `dataset`. The row width is `values.size() / num_rows` and must
+/// match the dataset's feature count (the server rejects otherwise).
+struct IngestRequest {
+  std::string dataset;
+  std::uint32_t num_rows = 0;
+  std::vector<double> values;
+};
+
+/// `kIngestResult`: where the window landed after the append.
+struct IngestResult {
+  std::uint32_t accepted = 0;        ///< Rows taken.
+  std::uint64_t window_epoch = 0;    ///< Epoch after the append.
+  std::uint64_t window_size = 0;     ///< Window rows after the append.
+  std::uint64_t total_ingested = 0;  ///< Lifetime rows of the dataset.
+  std::uint32_t advances = 0;        ///< Window advances this append caused.
+};
+
+/// `kOnlineScore`: standardized scores of the current window of `dataset`
+/// in `subspace`, under `detector` (a name registered on the dataset).
+struct OnlineScoreRequest {
+  std::string dataset;
+  std::string detector;
+  Subspace subspace;
+};
+
+/// `kOnlineScoreResult`: the epoch identifies the exact window contents
+/// the scores describe.
+struct OnlineScoreResult {
+  std::uint64_t epoch = 0;
+  std::vector<double> scores;
+};
+
+/// `kOnlineExplain`: explain window row `point` (0 = oldest retained) of
+/// `dataset` with `explainer`, using online detector `detector`.
+struct OnlineExplainRequest {
+  std::string dataset;
+  std::string detector;
+  std::string explainer;
+  std::int32_t point = 0;
+  std::int32_t target_dim = 2;
+  std::uint32_t max_results = 0;
+};
+
+/// `kOnlineExplainResult`: the ranking plus its freshness — the epoch the
+/// explanation was computed against and the epoch current when the reply
+/// was produced. `computed_epoch < current_epoch` marks a stale serve (the
+/// window advanced mid-computation; the answer is still internally
+/// consistent for its pinned epoch).
+struct OnlineExplainResult {
+  std::uint64_t computed_epoch = 0;
+  std::uint64_t current_epoch = 0;
+  RankedSubspaces ranking;
+};
+
 /// `kStatsResult`: one JSON document (server counters + per-service cache
 /// stats). `kTraceDumpResult` (Chrome trace-event JSON) and `kError` (the
 /// error message) reuse the same single-string shape.
@@ -130,6 +191,15 @@ std::vector<std::uint8_t> EncodeStatsRequest(std::uint64_t request_id,
 std::vector<std::uint8_t> EncodeTraceDumpRequest(
     std::uint64_t request_id, const TraceDumpRequest& request,
     std::uint64_t trace_id = 0);
+std::vector<std::uint8_t> EncodeIngestRequest(std::uint64_t request_id,
+                                              const IngestRequest& request,
+                                              std::uint64_t trace_id = 0);
+std::vector<std::uint8_t> EncodeOnlineScoreRequest(
+    std::uint64_t request_id, const OnlineScoreRequest& request,
+    std::uint64_t trace_id = 0);
+std::vector<std::uint8_t> EncodeOnlineExplainRequest(
+    std::uint64_t request_id, const OnlineExplainRequest& request,
+    std::uint64_t trace_id = 0);
 std::vector<std::uint8_t> EncodeScoreResult(std::uint64_t request_id,
                                             const ScoreResult& result);
 std::vector<std::uint8_t> EncodeExplainResult(std::uint64_t request_id,
@@ -138,6 +208,12 @@ std::vector<std::uint8_t> EncodeStatsResult(std::uint64_t request_id,
                                             const TextResult& result);
 std::vector<std::uint8_t> EncodeTraceDumpResult(std::uint64_t request_id,
                                                 const TextResult& result);
+std::vector<std::uint8_t> EncodeIngestResult(std::uint64_t request_id,
+                                             const IngestResult& result);
+std::vector<std::uint8_t> EncodeOnlineScoreResult(
+    std::uint64_t request_id, const OnlineScoreResult& result);
+std::vector<std::uint8_t> EncodeOnlineExplainResult(
+    std::uint64_t request_id, const OnlineExplainResult& result);
 std::vector<std::uint8_t> EncodeBusy(std::uint64_t request_id);
 std::vector<std::uint8_t> EncodeError(std::uint64_t request_id,
                                       const std::string& message);
@@ -151,8 +227,14 @@ bool DecodeHeader(WireReader& reader, MessageHeader* out);
 bool DecodeScoreRequest(WireReader& reader, ScoreRequest* out);
 bool DecodeTraceDumpRequest(WireReader& reader, TraceDumpRequest* out);
 bool DecodeExplainRequest(WireReader& reader, ExplainRequest* out);
+bool DecodeIngestRequest(WireReader& reader, IngestRequest* out);
+bool DecodeOnlineScoreRequest(WireReader& reader, OnlineScoreRequest* out);
+bool DecodeOnlineExplainRequest(WireReader& reader, OnlineExplainRequest* out);
 bool DecodeScoreResult(WireReader& reader, ScoreResult* out);
 bool DecodeExplainResult(WireReader& reader, ExplainResult* out);
+bool DecodeIngestResult(WireReader& reader, IngestResult* out);
+bool DecodeOnlineScoreResult(WireReader& reader, OnlineScoreResult* out);
+bool DecodeOnlineExplainResult(WireReader& reader, OnlineExplainResult* out);
 /// Body of `kStatsResult` and `kError` (a single string).
 bool DecodeTextResult(WireReader& reader, TextResult* out);
 

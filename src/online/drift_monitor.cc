@@ -1,0 +1,36 @@
+#include "online/drift_monitor.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "stats/two_sample_tests.h"
+
+namespace subex {
+
+DriftMonitor::DriftMonitor(const DriftMonitorOptions& options)
+    : options_(options) {
+  SUBEX_CHECK(options.ks_threshold >= 0.0 && options.ks_threshold <= 1.0);
+  SUBEX_CHECK(options.max_p_value >= 0.0 && options.max_p_value <= 1.0);
+  SUBEX_CHECK(options.min_window >= 2);
+}
+
+DriftMonitor::Result DriftMonitor::Observe(std::uint64_t epoch,
+                                           std::vector<double> scores) {
+  (void)epoch;
+  Result result;
+  if (scores.size() >= options_.min_window &&
+      previous_.size() >= options_.min_window) {
+    const TestResult ks = KolmogorovSmirnovTest(previous_, scores);
+    result.tested = true;
+    result.ks_statistic = ks.statistic;
+    result.p_value = ks.p_value;
+    result.drifted = ks.statistic >= options_.ks_threshold &&
+                     ks.p_value <= options_.max_p_value;
+    last_statistic_ = ks.statistic;
+    if (result.drifted) ++drift_count_;
+  }
+  previous_ = std::move(scores);
+  return result;
+}
+
+}  // namespace subex

@@ -1,0 +1,65 @@
+#ifndef SUBEX_ONLINE_DRIFT_MONITOR_H_
+#define SUBEX_ONLINE_DRIFT_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace subex {
+
+/// Knobs of a `DriftMonitor`.
+struct DriftMonitorOptions {
+  /// Alert when the two-sample KS statistic between consecutive windows'
+  /// score distributions reaches this value...
+  double ks_threshold = 0.25;
+  /// ...and the KS p-value is at most this (both must hold).
+  double max_p_value = 0.05;
+  /// Windows smaller than this are not tested (KS on a handful of points
+  /// is noise).
+  std::size_t min_window = 32;
+};
+
+/// Concept-drift detector over a stream of per-epoch score distributions.
+///
+/// Scores — not raw features — are the monitored signal: a distribution
+/// shift of the detector's own outlyingness scores is exactly the event
+/// that invalidates cached explanations, regardless of which marginal
+/// moved. Each window advance feeds the new epoch's full-space raw score
+/// vector; the monitor runs a two-sample Kolmogorov–Smirnov test against
+/// the previous epoch's vector and flags drift when the D statistic
+/// clears `ks_threshold` with p ≤ `max_p_value`. Consecutive windows
+/// overlap in all but the advanced stride, so D stays near zero in steady
+/// state and jumps when a concept boundary slides through the window.
+///
+/// Not thread-safe: the owning `OnlineDataset` serializes calls.
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(const DriftMonitorOptions& options = {});
+
+  struct Result {
+    bool tested = false;   ///< False when either window was too small.
+    bool drifted = false;  ///< Threshold and p-value both cleared.
+    double ks_statistic = 0.0;
+    double p_value = 1.0;
+  };
+
+  /// Compares `scores` (the current epoch's raw full-space scores) against
+  /// the previous observed epoch's, then retains `scores` as the new
+  /// reference.
+  Result Observe(std::uint64_t epoch, std::vector<double> scores);
+
+  const DriftMonitorOptions& options() const { return options_; }
+  /// Epochs flagged as drifted since construction.
+  std::uint64_t drift_count() const { return drift_count_; }
+  /// Last computed KS statistic (0 until two testable epochs were seen).
+  double last_statistic() const { return last_statistic_; }
+
+ private:
+  DriftMonitorOptions options_;
+  std::vector<double> previous_;
+  std::uint64_t drift_count_ = 0;
+  double last_statistic_ = 0.0;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_ONLINE_DRIFT_MONITOR_H_

@@ -1,0 +1,367 @@
+#include "online/online_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "obs/event_log.h"
+#include "obs/registry.h"
+#include "stats/descriptive.h"
+
+namespace subex {
+
+namespace {
+
+/// Cache keys embed the epoch so an advance can evict exactly the stale
+/// entries: "<detector>@<epoch>".
+std::string DetectorEpochKey(const std::string& detector,
+                             std::uint64_t epoch) {
+  return detector + "@" + std::to_string(epoch);
+}
+
+ScoreCacheOptions CacheOptionsFor(const OnlineDatasetOptions& options) {
+  ScoreCacheOptions cache = options.cache;
+  if (cache.name == ScoreCacheOptions{}.name) {
+    cache.name = "online:" + options.name;
+  }
+  return cache;
+}
+
+}  // namespace
+
+OnlineDataset::OnlineDataset(const OnlineDatasetOptions& options,
+                             std::size_t num_features)
+    : options_(options),
+      num_features_(num_features),
+      window_(options.window_capacity, num_features),
+      drift_monitor_(options.drift),
+      cache_(std::make_unique<ScoreCache>(CacheOptionsFor(options))),
+      last_advance_time_(std::chrono::steady_clock::now()),
+      epoch_gauge_(MetricsRegistry::Global().GetGauge("online.window_epoch")),
+      drift_gauge_(MetricsRegistry::Global().GetGauge("online.drift_score")),
+      ingest_rate_gauge_(
+          MetricsRegistry::Global().GetGauge("online.ingest_rate")),
+      ingested_counter_(
+          MetricsRegistry::Global().GetCounter("online.ingested_points")),
+      advances_counter_(
+          MetricsRegistry::Global().GetCounter("online.advances")),
+      drift_events_counter_(
+          MetricsRegistry::Global().GetCounter("online.drift_events")),
+      stale_serves_counter_(
+          MetricsRegistry::Global().GetCounter("online.stale_serves")) {
+  SUBEX_CHECK(!options.name.empty());
+  SUBEX_CHECK(options.advance_every >= 1);
+  SUBEX_CHECK(options.advance_every <= options.window_capacity);
+  SUBEX_CHECK(options.min_score_window >= 3);  // Batch LODA's floor.
+}
+
+OnlineDataset::~OnlineDataset() = default;
+
+void OnlineDataset::AddLoda(const std::string& detector_name,
+                            const Loda::Options& options) {
+  AddScorer(detector_name, std::make_unique<IncrementalLodaScorer>(options));
+}
+
+void OnlineDataset::AddReindexDetector(const std::string& detector_name,
+                                       const Detector& detector) {
+  AddScorer(detector_name, std::make_unique<ReindexScorer>(detector));
+}
+
+void OnlineDataset::AddScorer(const std::string& detector_name,
+                              std::unique_ptr<WindowedScorer> scorer) {
+  SUBEX_CHECK(!detector_name.empty());
+  SUBEX_CHECK(scorer != nullptr);
+  SUBEX_CHECK_MSG(FindScorer(detector_name) == nullptr,
+                  "duplicate online detector name");
+  scorers_.push_back(NamedScorer{detector_name, std::move(scorer)});
+}
+
+bool OnlineDataset::HasDetector(const std::string& detector_name) const {
+  return FindScorer(detector_name) != nullptr;
+}
+
+const char* OnlineDataset::StatusMessage(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kUnknownDetector:
+      return "unknown online detector";
+    case Status::kWindowTooSmall:
+      return "window below minimum scoring size";
+  }
+  return "unknown status";
+}
+
+WindowedScorer* OnlineDataset::FindScorer(
+    const std::string& detector_name) const {
+  for (const auto& named : scorers_) {
+    if (named.name == detector_name) return named.scorer.get();
+  }
+  return nullptr;
+}
+
+const std::shared_ptr<const Dataset>& OnlineDataset::EnsureSnapshotLocked() {
+  if (snapshot_ == nullptr) {
+    snapshot_ = std::make_shared<const Dataset>(window_.Snapshot());
+  }
+  return snapshot_;
+}
+
+OnlineDataset::IngestResult OnlineDataset::Append(const Matrix& rows) {
+  SUBEX_CHECK_MSG(rows.cols() == num_features_ || rows.rows() == 0,
+                  "ingest width mismatch");
+  IngestResult result;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    const std::span<const double> row = rows.Row(r);
+    pending_.emplace_back(row.begin(), row.end());
+  }
+  total_ingested_ += rows.rows();
+  ingested_counter_.Increment(rows.rows());
+  while (pending_.size() >= options_.advance_every) {
+    Matrix batch(options_.advance_every, num_features_);
+    for (std::size_t r = 0; r < options_.advance_every; ++r) {
+      const std::vector<double>& row = pending_.front();
+      for (std::size_t f = 0; f < num_features_; ++f) batch(r, f) = row[f];
+      pending_.pop_front();
+    }
+    AdvanceLocked(batch);
+    ++result.advances;
+  }
+  result.accepted = rows.rows();
+  result.epoch = epoch_.load(std::memory_order_relaxed);
+  result.window_size = window_.size();
+  result.total_ingested = total_ingested_;
+  return result;
+}
+
+OnlineDataset::IngestResult OnlineDataset::AppendRow(
+    std::span<const double> row) {
+  Matrix m(1, num_features_);
+  SUBEX_CHECK_MSG(row.size() == num_features_, "ingest width mismatch");
+  for (std::size_t f = 0; f < num_features_; ++f) m(0, f) = row[f];
+  return Append(m);
+}
+
+void OnlineDataset::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.empty()) return;
+  Matrix batch(pending_.size(), num_features_);
+  for (std::size_t r = 0; r < batch.rows(); ++r) {
+    const std::vector<double>& row = pending_[r];
+    for (std::size_t f = 0; f < num_features_; ++f) batch(r, f) = row[f];
+  }
+  pending_.clear();
+  AdvanceLocked(batch);
+}
+
+void OnlineDataset::AdvanceLocked(const Matrix& batch) {
+  const std::size_t old_size = window_.size();
+  for (std::size_t r = 0; r < batch.rows(); ++r) window_.Push(batch.Row(r));
+  const std::size_t num_exited = old_size + batch.rows() - window_.size();
+
+  const std::uint64_t epoch =
+      epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  snapshot_.reset();
+  ++advances_;
+  advances_counter_.Increment();
+  epoch_gauge_.Set(static_cast<std::int64_t>(epoch));
+
+  WindowDelta delta;
+  delta.epoch = epoch;
+  delta.window_size = window_.size();
+  delta.entered = &batch;
+  delta.num_exited = num_exited;
+  for (auto& named : scorers_) named.scorer->OnAdvance(delta);
+
+  // Targeted invalidation: drop exactly the now-stale epochs' entries of
+  // this dataset's cache — no global flush, and the freed bytes are
+  // reported to the eviction manager like any other eviction.
+  std::string keep_suffix = "@";
+  keep_suffix += std::to_string(epoch);
+  epochs_invalidated_ += cache_->EvictIf([&](const ScoreKey& key) {
+    return !key.detector.ends_with(keep_suffix);
+  });
+
+  // Ingest rate, measured advance-to-advance.
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - last_advance_time_).count();
+  last_advance_time_ = now;
+  if (elapsed > 1e-9) {
+    ingest_rate_gauge_.Set(static_cast<std::int64_t>(
+        std::llround(static_cast<double>(batch.rows()) / elapsed)));
+  }
+
+  // Drift test on the new epoch's full-space raw scores. The drift scorer
+  // warms the cache as a side effect: its standardized full-space vector is
+  // published under the new epoch's key.
+  if (scorers_.empty() ||
+      window_.size() <
+          std::max<std::size_t>(3, options_.drift.min_window)) {
+    return;
+  }
+  const NamedScorer* drift_scorer = &scorers_.front();
+  if (!options_.drift_detector.empty()) {
+    for (const auto& named : scorers_) {
+      if (named.name == options_.drift_detector) drift_scorer = &named;
+    }
+  }
+  const Dataset& snap = *EnsureSnapshotLocked();
+  std::vector<double> raw = drift_scorer->scorer->Score(snap, Subspace());
+  cache_->Put(
+      {DetectorEpochKey(drift_scorer->name, epoch), Subspace()},
+      std::make_shared<const std::vector<double>>(Standardize(raw)));
+  // Raw, not standardized: per-window z-scoring would erase exactly the
+  // location/scale shifts the monitor is there to catch.
+  const DriftMonitor::Result drift =
+      drift_monitor_.Observe(epoch, std::move(raw));
+  if (!drift.tested) return;
+  last_drift_ = drift;
+  drift_gauge_.Set(
+      static_cast<std::int64_t>(std::llround(drift.ks_statistic * 1e6)));
+  if (drift.drifted) {
+    drift_events_counter_.Increment();
+    SUBEX_EVENT(EventSeverity::kWarn, "online.drift",
+                JsonObject()
+                    .Add("dataset", options_.name)
+                    .Add("epoch", epoch)
+                    .Add("ks_statistic", drift.ks_statistic)
+                    .Add("p_value", drift.p_value)
+                    .Add("window_size",
+                         static_cast<std::uint64_t>(window_.size()))
+                    .Build());
+  }
+}
+
+OnlineDataset::EpochSnapshot OnlineDataset::Snapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EpochSnapshot snapshot;
+  snapshot.epoch = epoch_.load(std::memory_order_relaxed);
+  if (window_.size() > 0) snapshot.data = EnsureSnapshotLocked();
+  return snapshot;
+}
+
+OnlineDataset::Status OnlineDataset::ScoreLocked(
+    const std::string& detector_name, const Subspace& subspace,
+    ScoredEpoch* out) {
+  if (window_.size() < options_.min_score_window) {
+    return Status::kWindowTooSmall;
+  }
+  WindowedScorer* scorer = FindScorer(detector_name);
+  if (scorer == nullptr) return Status::kUnknownDetector;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  const ScoreKey key{DetectorEpochKey(detector_name, epoch), subspace};
+  if (ScoreVectorPtr hit = cache_->Get(key)) {
+    out->scores = std::move(hit);
+    out->epoch = epoch;
+    return Status::kOk;
+  }
+  const Dataset& snap = *EnsureSnapshotLocked();
+  auto scores = std::make_shared<const std::vector<double>>(
+      Standardize(scorer->Score(snap, subspace)));
+  cache_->Put(key, scores);
+  out->scores = std::move(scores);
+  out->epoch = epoch;
+  return Status::kOk;
+}
+
+OnlineDataset::Status OnlineDataset::Score(const std::string& detector_name,
+                                           const Subspace& subspace,
+                                           ScoredEpoch* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ScoreLocked(detector_name, subspace, out);
+}
+
+OnlineDataset::Status OnlineDataset::ScoreAt(
+    const EpochSnapshot& snapshot, const std::string& detector_name,
+    const Subspace& subspace, ScoredEpoch* out) {
+  WindowedScorer* scorer = FindScorer(detector_name);
+  if (scorer == nullptr) return Status::kUnknownDetector;
+  if (snapshot.data == nullptr ||
+      snapshot.data->num_points() < options_.min_score_window) {
+    return Status::kWindowTooSmall;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (epoch_.load(std::memory_order_relaxed) == snapshot.epoch) {
+      return ScoreLocked(detector_name, subspace, out);
+    }
+  }
+  // The window moved on: recompute on the pinned snapshot outside the
+  // dataset lock. By the scorer parity contract this is bitwise what the
+  // live path served at `snapshot.epoch`.
+  out->scores = std::make_shared<const std::vector<double>>(
+      ScoreStandardized(scorer->detector(), *snapshot.data, subspace));
+  out->epoch = snapshot.epoch;
+  return Status::kOk;
+}
+
+void OnlineDataset::NoteStaleServe(std::uint64_t computed_epoch,
+                                   std::uint64_t current_epoch) {
+  stale_serves_.fetch_add(1, std::memory_order_relaxed);
+  stale_serves_counter_.Increment();
+  SUBEX_EVENT(EventSeverity::kInfo, "online.stale_serve",
+              JsonObject()
+                  .Add("dataset", options_.name)
+                  .Add("computed_epoch", computed_epoch)
+                  .Add("current_epoch", current_epoch)
+                  .Add("epochs_behind", current_epoch - computed_epoch)
+                  .Build());
+}
+
+OnlineDataset::StatsSnapshot OnlineDataset::stats() const {
+  StatsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.name = options_.name;
+  snapshot.epoch = epoch_.load(std::memory_order_relaxed);
+  snapshot.window_size = window_.size();
+  snapshot.window_capacity = options_.window_capacity;
+  snapshot.pending = pending_.size();
+  snapshot.total_ingested = total_ingested_;
+  snapshot.advances = advances_;
+  snapshot.stale_serves = stale_serves_.load(std::memory_order_relaxed);
+  snapshot.cache_entries = cache_->size();
+  snapshot.cache_bytes = cache_->bytes();
+  snapshot.epochs_invalidated = epochs_invalidated_;
+  snapshot.drift_tested = last_drift_.tested;
+  snapshot.drift_score = last_drift_.ks_statistic;
+  snapshot.drift_p_value = last_drift_.p_value;
+  snapshot.drift_events = drift_monitor_.drift_count();
+  return snapshot;
+}
+
+std::string OnlineDataset::StatsSnapshot::ToJson() const {
+  return JsonObject()
+      .Add("name", name)
+      .Add("epoch", epoch)
+      .Add("window_size", static_cast<std::uint64_t>(window_size))
+      .Add("window_capacity", static_cast<std::uint64_t>(window_capacity))
+      .Add("pending", static_cast<std::uint64_t>(pending))
+      .Add("total_ingested", total_ingested)
+      .Add("advances", advances)
+      .Add("stale_serves", stale_serves)
+      .Add("cache_entries", cache_entries)
+      .Add("cache_bytes", cache_bytes)
+      .Add("epochs_invalidated", epochs_invalidated)
+      .Add("drift_tested", drift_tested)
+      .Add("drift_score", drift_score)
+      .Add("drift_p_value", drift_p_value)
+      .Add("drift_events", drift_events)
+      .Build();
+}
+
+std::vector<double> PinnedEpochDetector::Score(
+    const Dataset& data, const Subspace& subspace) const {
+  (void)data;  // Explainers pass the pinned snapshot back; it is implied.
+  OnlineDataset::ScoredEpoch scored;
+  const OnlineDataset::Status status =
+      dataset_.ScoreAt(snapshot_, detector_name_, subspace, &scored);
+  SUBEX_CHECK_MSG(status == OnlineDataset::Status::kOk,
+                  OnlineDataset::StatusMessage(status));
+  return *scored.scores;
+}
+
+}  // namespace subex

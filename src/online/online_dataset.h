@@ -1,0 +1,239 @@
+#ifndef SUBEX_ONLINE_ONLINE_DATASET_H_
+#define SUBEX_ONLINE_ONLINE_DATASET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/matrix.h"
+#include "data/dataset.h"
+#include "detect/loda.h"
+#include "obs/metrics.h"
+#include "online/drift_monitor.h"
+#include "online/windowed_scorer.h"
+#include "serve/score_cache.h"
+#include "stream/sliding_window.h"
+#include "subspace/subspace.h"
+
+namespace subex {
+
+/// Knobs of an `OnlineDataset`.
+struct OnlineDatasetOptions {
+  /// Name clients address `kIngest`/`kOnlineScore`/`kOnlineExplain` to.
+  std::string name = "stream";
+  /// Points the sliding window retains.
+  std::size_t window_capacity = 512;
+  /// Ingested points per window advance (the stride): the window's visible
+  /// contents only change at an advance, which bumps the epoch. Points
+  /// beyond the current stride wait in a pending buffer.
+  std::size_t advance_every = 64;
+  /// Scoring refuses (`kWindowTooSmall`) below this many window rows.
+  std::size_t min_score_window = 32;
+  /// Drift-test configuration (KS over consecutive epochs' score
+  /// distributions).
+  DriftMonitorOptions drift;
+  /// Registered scorer driving the drift test; empty = first registered.
+  std::string drift_detector;
+  /// Sizing/manager/name of the per-epoch score cache.
+  ScoreCacheOptions cache;
+};
+
+/// A named, continuously-ingesting windowed dataset: the serving-side
+/// object behind the online protocol.
+///
+/// Ingested rows accumulate in a pending buffer; every `advance_every` rows
+/// the window advances — pending rows push in, the oldest rows fall out,
+/// and the **epoch** increments. Between advances the window is frozen, so
+/// an epoch identifies exact window contents; that makes scores cacheable
+/// (keys embed the epoch), lets incremental scorers assert bitwise parity
+/// against a batch recompute of the same epoch, and gives explanations a
+/// precise freshness label (the epoch they were computed against).
+///
+/// An advance invalidates exactly the previous epochs' entries of this
+/// dataset's `ScoreCache` via `EvictIf` (freed bytes flow through the
+/// `EvictionManager`; nothing else in the process is flushed), folds the
+/// delta into every registered `WindowedScorer`, and feeds the new epoch's
+/// full-space raw scores to the `DriftMonitor` — drift raises a structured
+/// `EventLog` alert and the `online.drift_score` gauge.
+///
+/// Thread model: one mutex serializes ingest, advances and live-window
+/// scoring (incremental scorers are fast, so the critical sections are
+/// short); stale-snapshot recomputes (`ScoreAt` after the window moved on)
+/// run outside the lock. Scorer registration must finish before serving.
+class OnlineDataset {
+ public:
+  OnlineDataset(const OnlineDatasetOptions& options,
+                std::size_t num_features);
+  ~OnlineDataset();
+
+  OnlineDataset(const OnlineDataset&) = delete;
+  OnlineDataset& operator=(const OnlineDataset&) = delete;
+
+  /// Registers an incrementally maintained LODA under `detector_name`.
+  void AddLoda(const std::string& detector_name,
+               const Loda::Options& options);
+  /// Registers a batch detector served through epoch-tagged re-indexing
+  /// (kNN distance, LOF, ...). `detector` must outlive this object.
+  void AddReindexDetector(const std::string& detector_name,
+                          const Detector& detector);
+  /// Registers an arbitrary scorer (the two helpers above cover the
+  /// common cases).
+  void AddScorer(const std::string& detector_name,
+                 std::unique_ptr<WindowedScorer> scorer);
+
+  bool HasDetector(const std::string& detector_name) const;
+
+  enum class Status { kOk, kUnknownDetector, kWindowTooSmall };
+  static const char* StatusMessage(Status status);
+
+  struct IngestResult {
+    std::size_t accepted = 0;        ///< Rows taken (all of them).
+    std::uint64_t epoch = 0;         ///< Epoch after this call.
+    std::size_t window_size = 0;     ///< Window rows after this call.
+    std::uint64_t total_ingested = 0;  ///< Lifetime accepted rows.
+    std::uint32_t advances = 0;      ///< Advances this call triggered.
+  };
+
+  /// Appends `rows` (width must equal `num_features()`), advancing the
+  /// window zero or more times. Thread-safe.
+  IngestResult Append(const Matrix& rows);
+  IngestResult AppendRow(std::span<const double> row);
+
+  /// Forces an advance with the pending rows, if any (stream end / tests).
+  void Flush();
+
+  /// A pinned epoch: the window contents frozen at `epoch`. `data` is null
+  /// while the window is empty.
+  struct EpochSnapshot {
+    std::shared_ptr<const Dataset> data;
+    std::uint64_t epoch = 0;
+  };
+  EpochSnapshot Snapshot();
+
+  struct ScoredEpoch {
+    ScoreVectorPtr scores;       ///< Standardized, one per window row.
+    std::uint64_t epoch = 0;     ///< Epoch the scores describe.
+  };
+
+  /// Standardized scores of the **current** window in `subspace`, served
+  /// from the per-epoch cache when possible. Bitwise
+  /// `ScoreStandardized(batch detector, window snapshot, subspace)`.
+  Status Score(const std::string& detector_name, const Subspace& subspace,
+               ScoredEpoch* out);
+
+  /// Epoch-consistent scores for a pinned snapshot: the live path serves
+  /// while the epoch still matches; once the window advanced, the batch
+  /// detector recomputes on the pinned snapshot outside the dataset lock —
+  /// bitwise identical to what epoch `snapshot.epoch` served (the scorer
+  /// parity contract), so an in-flight explanation stays internally
+  /// consistent no matter how often the window moves beneath it.
+  Status ScoreAt(const EpochSnapshot& snapshot,
+                 const std::string& detector_name, const Subspace& subspace,
+                 ScoredEpoch* out);
+
+  /// Records that a request was answered from a stale epoch (rate-limited
+  /// `online.stale_serve` event + counter). Called by the server after it
+  /// finishes a request whose pinned epoch fell behind.
+  void NoteStaleServe(std::uint64_t computed_epoch,
+                      std::uint64_t current_epoch);
+
+  struct StatsSnapshot {
+    std::string name;
+    std::uint64_t epoch = 0;
+    std::size_t window_size = 0;
+    std::size_t window_capacity = 0;
+    std::size_t pending = 0;
+    std::uint64_t total_ingested = 0;
+    std::uint64_t advances = 0;
+    std::uint64_t stale_serves = 0;
+    std::uint64_t cache_entries = 0;
+    std::uint64_t cache_bytes = 0;
+    std::uint64_t epochs_invalidated = 0;  ///< Cache entries evicted by advances.
+    bool drift_tested = false;
+    double drift_score = 0.0;    ///< Last KS D statistic.
+    double drift_p_value = 1.0;
+    std::uint64_t drift_events = 0;
+    std::string ToJson() const;
+  };
+  StatsSnapshot stats() const;
+
+  const std::string& name() const { return options_.name; }
+  std::size_t num_features() const { return num_features_; }
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  const OnlineDatasetOptions& options() const { return options_; }
+
+ private:
+  struct NamedScorer {
+    std::string name;
+    std::unique_ptr<WindowedScorer> scorer;
+  };
+
+  WindowedScorer* FindScorer(const std::string& detector_name) const;
+  const std::shared_ptr<const Dataset>& EnsureSnapshotLocked();
+  void AdvanceLocked(const Matrix& batch);
+  Status ScoreLocked(const std::string& detector_name,
+                     const Subspace& subspace, ScoredEpoch* out);
+
+  const OnlineDatasetOptions options_;
+  const std::size_t num_features_;
+
+  mutable std::mutex mutex_;
+  SlidingWindow window_;
+  std::deque<std::vector<double>> pending_;
+  std::shared_ptr<const Dataset> snapshot_;  // Lazy, reset per epoch.
+  std::vector<NamedScorer> scorers_;
+  DriftMonitor drift_monitor_;
+  DriftMonitor::Result last_drift_;
+  std::unique_ptr<ScoreCache> cache_;
+  std::uint64_t total_ingested_ = 0;
+  std::uint64_t advances_ = 0;
+  std::uint64_t epochs_invalidated_ = 0;
+  std::chrono::steady_clock::time_point last_advance_time_;
+
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> stale_serves_{0};
+
+  Gauge& epoch_gauge_;
+  Gauge& drift_gauge_;
+  Gauge& ingest_rate_gauge_;
+  Counter& ingested_counter_;
+  Counter& advances_counter_;
+  Counter& drift_events_counter_;
+  Counter& stale_serves_counter_;
+};
+
+/// Detector adapter pinning an `OnlineDataset` epoch: explainers score
+/// through it and transparently get the epoch-consistent `ScoreAt` path.
+/// Reports standardized scores (they already are).
+class PinnedEpochDetector final : public Detector {
+ public:
+  PinnedEpochDetector(OnlineDataset& dataset,
+                      OnlineDataset::EpochSnapshot snapshot,
+                      std::string detector_name)
+      : dataset_(dataset),
+        snapshot_(std::move(snapshot)),
+        detector_name_(std::move(detector_name)) {}
+
+  std::string name() const override { return detector_name_; }
+  bool ReturnsStandardizedScores() const override { return true; }
+  std::vector<double> Score(const Dataset& data,
+                            const Subspace& subspace) const override;
+
+ private:
+  OnlineDataset& dataset_;
+  OnlineDataset::EpochSnapshot snapshot_;
+  std::string detector_name_;
+};
+
+}  // namespace subex
+
+#endif  // SUBEX_ONLINE_ONLINE_DATASET_H_

@@ -202,6 +202,32 @@ std::size_t ScoreCache::ReclaimBytes(std::size_t target_bytes) {
   return freed;
 }
 
+std::size_t ScoreCache::EvictIf(
+    const std::function<bool(const ScoreKey&)>& pred) {
+  std::size_t freed = 0;
+  std::uint64_t entries = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->index.begin(); it != shard->index.end();) {
+      if (!pred(it->first)) {
+        ++it;
+        continue;
+      }
+      Entry& victim = *it->second;
+      freed += victim.bytes;
+      shard->bytes -= victim.bytes;
+      shard->lru.Remove(&victim.node);
+      it = shard->index.erase(it);
+      ++entries;
+      if (stats_ != nullptr) stats_->RecordEviction();
+    }
+  }
+  if (manager_ != nullptr && freed > 0) {
+    manager_->ReleaseEvicted(cache_id_, freed, entries);
+  }
+  return entries;
+}
+
 std::size_t ScoreCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -91,6 +92,14 @@ class ScoreCache : private MemReclaimer {
   /// shard budget — or refused by the eviction manager — are simply not
   /// retained.
   void Put(const ScoreKey& key, ScoreVectorPtr value);
+
+  /// Evicts every entry whose key satisfies `pred`, leaving the rest
+  /// untouched — the targeted-invalidation primitive (e.g. dropping one
+  /// window epoch's vectors without flushing the cache). Freed bytes are
+  /// reported to the eviction manager as evictions. Returns the number of
+  /// entries removed. `pred` runs under shard locks and must not reenter
+  /// the cache.
+  std::size_t EvictIf(const std::function<bool(const ScoreKey&)>& pred);
 
   /// Current number of cached vectors (sums shard sizes; approximate under
   /// concurrent mutation).

@@ -65,6 +65,9 @@
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "online/drift_monitor.h"
+#include "online/online_dataset.h"
+#include "online/windowed_scorer.h"
 #include "serve/score_cache.h"
 #include "serve/scoring_service.h"
 #include "serve/service_stats.h"

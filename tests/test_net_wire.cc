@@ -233,9 +233,152 @@ TEST(ProtocolTest, RequestTypePredicate) {
   EXPECT_TRUE(IsRequestType(MessageType::kExplain));
   EXPECT_TRUE(IsRequestType(MessageType::kStats));
   EXPECT_TRUE(IsRequestType(MessageType::kTraceDump));
+  EXPECT_TRUE(IsRequestType(MessageType::kIngest));
+  EXPECT_TRUE(IsRequestType(MessageType::kOnlineScore));
+  EXPECT_TRUE(IsRequestType(MessageType::kOnlineExplain));
   EXPECT_FALSE(IsRequestType(MessageType::kScoreResult));
+  EXPECT_FALSE(IsRequestType(MessageType::kIngestResult));
+  EXPECT_FALSE(IsRequestType(MessageType::kOnlineScoreResult));
+  EXPECT_FALSE(IsRequestType(MessageType::kOnlineExplainResult));
   EXPECT_FALSE(IsRequestType(MessageType::kBusy));
   EXPECT_FALSE(IsRequestType(MessageType::kError));
+}
+
+TEST(ProtocolTest, IngestRequestRoundTripValidatesRowTiling) {
+  IngestRequest request;
+  request.dataset = "stream";
+  request.num_rows = 2;
+  request.values = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const std::vector<std::uint8_t> payload = EncodeIngestRequest(11, request);
+
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_EQ(header.type, MessageType::kIngest);
+  IngestRequest back;
+  ASSERT_TRUE(DecodeIngestRequest(reader, &back));
+  EXPECT_EQ(back.dataset, "stream");
+  EXPECT_EQ(back.num_rows, 2u);
+  EXPECT_EQ(back.values, request.values);
+
+  // 5 values cannot tile into 2 rows: the decoder must reject it.
+  request.values.pop_back();
+  const std::vector<std::uint8_t> bad = EncodeIngestRequest(12, request);
+  WireReader bad_reader(bad);
+  ASSERT_TRUE(DecodeHeader(bad_reader, &header));
+  EXPECT_FALSE(DecodeIngestRequest(bad_reader, &back));
+}
+
+TEST(ProtocolTest, IngestResultRoundTrip) {
+  IngestResult result;
+  result.accepted = 7;
+  result.window_epoch = 41;
+  result.window_size = 512;
+  result.total_ingested = 99999;
+  result.advances = 3;
+  const std::vector<std::uint8_t> payload = EncodeIngestResult(13, result);
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_EQ(header.type, MessageType::kIngestResult);
+  IngestResult back;
+  ASSERT_TRUE(DecodeIngestResult(reader, &back));
+  EXPECT_EQ(back.accepted, 7u);
+  EXPECT_EQ(back.window_epoch, 41u);
+  EXPECT_EQ(back.window_size, 512u);
+  EXPECT_EQ(back.total_ingested, 99999u);
+  EXPECT_EQ(back.advances, 3u);
+}
+
+TEST(ProtocolTest, OnlineScoreRoundTrip) {
+  OnlineScoreRequest request;
+  request.dataset = "stream";
+  request.detector = "LODA";
+  request.subspace = Subspace({2, 4});
+  const std::vector<std::uint8_t> payload =
+      EncodeOnlineScoreRequest(21, request);
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_EQ(header.type, MessageType::kOnlineScore);
+  OnlineScoreRequest back;
+  ASSERT_TRUE(DecodeOnlineScoreRequest(reader, &back));
+  EXPECT_EQ(back.dataset, "stream");
+  EXPECT_EQ(back.detector, "LODA");
+  EXPECT_EQ(back.subspace, Subspace({2, 4}));
+
+  OnlineScoreResult result;
+  result.epoch = 17;
+  result.scores = {0.5, -1.25, 3.0};
+  const std::vector<std::uint8_t> result_payload =
+      EncodeOnlineScoreResult(21, result);
+  WireReader result_reader(result_payload);
+  ASSERT_TRUE(DecodeHeader(result_reader, &header));
+  EXPECT_EQ(header.type, MessageType::kOnlineScoreResult);
+  OnlineScoreResult result_back;
+  ASSERT_TRUE(DecodeOnlineScoreResult(result_reader, &result_back));
+  EXPECT_EQ(result_back.epoch, 17u);
+  EXPECT_EQ(result_back.scores, result.scores);
+}
+
+TEST(ProtocolTest, OnlineExplainRoundTripCarriesFreshnessEpochs) {
+  OnlineExplainRequest request;
+  request.dataset = "stream";
+  request.detector = "LODA";
+  request.explainer = "Beam";
+  request.point = 9;
+  request.target_dim = 2;
+  request.max_results = 5;
+  const std::vector<std::uint8_t> payload =
+      EncodeOnlineExplainRequest(31, request);
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_EQ(header.type, MessageType::kOnlineExplain);
+  OnlineExplainRequest back;
+  ASSERT_TRUE(DecodeOnlineExplainRequest(reader, &back));
+  EXPECT_EQ(back.dataset, "stream");
+  EXPECT_EQ(back.detector, "LODA");
+  EXPECT_EQ(back.explainer, "Beam");
+  EXPECT_EQ(back.point, 9);
+  EXPECT_EQ(back.target_dim, 2);
+  EXPECT_EQ(back.max_results, 5u);
+
+  OnlineExplainResult result;
+  result.computed_epoch = 40;
+  result.current_epoch = 42;  // A stale serve: 2 epochs behind.
+  result.ranking.Add(Subspace({0, 3}), 1.5);
+  const std::vector<std::uint8_t> result_payload =
+      EncodeOnlineExplainResult(31, result);
+  WireReader result_reader(result_payload);
+  ASSERT_TRUE(DecodeHeader(result_reader, &header));
+  EXPECT_EQ(header.type, MessageType::kOnlineExplainResult);
+  OnlineExplainResult result_back;
+  ASSERT_TRUE(DecodeOnlineExplainResult(result_reader, &result_back));
+  EXPECT_EQ(result_back.computed_epoch, 40u);
+  EXPECT_EQ(result_back.current_epoch, 42u);
+  EXPECT_EQ(result_back.ranking.subspaces, result.ranking.subspaces);
+  EXPECT_EQ(result_back.ranking.scores, result.ranking.scores);
+}
+
+// The online extension is additive: a pre-extension frame must be encoded
+// byte-for-byte as before, so ingest-free clients stay wire-compatible.
+TEST(ProtocolTest, PreOnlineScoreFrameIsByteIdenticalGolden) {
+  ScoreRequest request;
+  request.detector = "LOF";
+  request.subspace = Subspace({0, 1});
+  const std::vector<std::uint8_t> payload =
+      EncodeScoreRequest(0x0102030405060708ull, request);
+  const std::vector<std::uint8_t> golden = {
+      0x01,                                            // version
+      0x01,                                            // kScore, no flag
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // id (LE)
+      0x03, 0x00, 0x00, 0x00, 'L', 'O', 'F',           // detector
+      0x02, 0x00,                                      // subspace size
+      0x00, 0x00, 0x00, 0x00,                          // feature 0
+      0x01, 0x00, 0x00, 0x00,                          // feature 1
+  };
+  EXPECT_EQ(payload, golden);
 }
 
 // --------------------------------------------------------------------------

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/loda.h"
+#include "detect/lof.h"
+#include "explain/beam.h"
+#include "net/explain_client.h"
+#include "net/explain_server.h"
+#include "online/online_dataset.h"
+#include "stream/drifting_stream.h"
+
+namespace subex {
+namespace {
+
+/// One online dataset (LODA incremental + LOF re-index) behind a started
+/// server, plus a drifting stream to ingest from.
+class OnlineServeTest : public ::testing::Test {
+ protected:
+  void StartServer() {
+    OnlineDatasetOptions options;
+    options.name = "stream";
+    options.window_capacity = 64;
+    options.advance_every = 16;
+    options.min_score_window = 16;
+    options.drift.min_window = 16;
+    dataset_ = std::make_unique<OnlineDataset>(options, kFeatures);
+    Loda::Options loda_options;
+    loda_options.num_projections = 16;
+    dataset_->AddLoda("LODA", loda_options);
+    dataset_->AddReindexDetector("LOF", lof_);
+
+    pool_ = std::make_unique<ThreadPool>(2);
+    server_ = std::make_unique<ExplainServer>(ExplainServerOptions{},
+                                              pool_.get());
+    server_->RegisterOnlineDataset(*dataset_);
+    server_->RegisterExplainer("Beam", beam_);
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+  }
+
+  ExplainClient MakeClient() {
+    ExplainClient client;
+    std::string error;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+    return client;
+  }
+
+  /// Row-major values of the next `n` stream rows.
+  std::vector<double> NextRows(std::size_t n) {
+    std::vector<double> values;
+    values.reserve(n * kFeatures);
+    while (values.size() < n * kFeatures) {
+      if (buffered_.empty()) {
+        const StreamChunk chunk = stream_.Next();
+        for (std::size_t r = 0; r < chunk.points.rows(); ++r) {
+          for (std::size_t f = 0; f < chunk.points.cols(); ++f) {
+            buffered_.push_back(chunk.points(r, f));
+          }
+        }
+      }
+      values.push_back(buffered_.front());
+      buffered_.erase(buffered_.begin());
+    }
+    return values;
+  }
+
+  static constexpr std::size_t kFeatures = 5;
+
+  DriftingStreamGenerator stream_{[] {
+    DriftingStreamConfig config;
+    config.chunk_size = 64;
+    config.outliers_per_chunk = 3;
+    config.drift_every_chunks = 4;
+    config.subspace_dims = {2, 3};  // 5 features.
+    config.seed = 31;
+    return config;
+  }()};
+  std::vector<double> buffered_;
+  Lof lof_{5};
+  Beam beam_;
+  std::unique_ptr<OnlineDataset> dataset_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ExplainServer> server_;
+};
+
+TEST_F(OnlineServeTest, IngestReportsWindowProgress) {
+  StartServer();
+  ExplainClient client = MakeClient();
+
+  const ExplainClient::IngestReply r1 = client.Ingest("stream", 8, NextRows(8));
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  EXPECT_EQ(r1.result.accepted, 8u);
+  EXPECT_EQ(r1.result.window_epoch, 0u);  // Still pending, below the stride.
+  EXPECT_EQ(r1.result.window_size, 0u);
+  EXPECT_EQ(r1.result.advances, 0u);
+
+  const ExplainClient::IngestReply r2 =
+      client.Ingest("stream", 24, NextRows(24));
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_EQ(r2.result.window_epoch, 2u);  // 32 rows = two strides of 16.
+  EXPECT_EQ(r2.result.window_size, 32u);
+  EXPECT_EQ(r2.result.total_ingested, 32u);
+  EXPECT_EQ(r2.result.advances, 2u);
+  EXPECT_EQ(dataset_->epoch(), 2u);
+}
+
+TEST_F(OnlineServeTest, OnlineScoreMatchesInProcessBitwise) {
+  StartServer();
+  ExplainClient client = MakeClient();
+  ASSERT_TRUE(client.Ingest("stream", 48, NextRows(48)).ok());
+
+  for (const Subspace& subspace :
+       {Subspace(), Subspace({0, 1}), Subspace({2, 3, 4})}) {
+    const ExplainClient::OnlineScoreReply wire =
+        client.OnlineScore("stream", "LODA", subspace);
+    ASSERT_TRUE(wire.ok()) << wire.error;
+    OnlineDataset::ScoredEpoch direct;
+    ASSERT_EQ(dataset_->Score("LODA", subspace, &direct),
+              OnlineDataset::Status::kOk);
+    EXPECT_EQ(wire.epoch, direct.epoch);
+    EXPECT_EQ(wire.scores, *direct.scores) << subspace.ToString();
+  }
+  const ExplainClient::OnlineScoreReply lof_wire =
+      client.OnlineScore("stream", "LOF", Subspace({1, 2}));
+  ASSERT_TRUE(lof_wire.ok()) << lof_wire.error;
+  const OnlineDataset::EpochSnapshot snapshot = dataset_->Snapshot();
+  EXPECT_EQ(lof_wire.scores,
+            ScoreStandardized(lof_, *snapshot.data, Subspace({1, 2})));
+}
+
+TEST_F(OnlineServeTest, OnlineExplainMatchesInProcessAndReportsEpochs) {
+  StartServer();
+  ExplainClient client = MakeClient();
+  ASSERT_TRUE(client.Ingest("stream", 64, NextRows(64)).ok());
+
+  const ExplainClient::OnlineExplainReply wire =
+      client.OnlineExplain("stream", "LODA", "Beam", 5, 2, 4);
+  ASSERT_TRUE(wire.ok()) << wire.error;
+  EXPECT_EQ(wire.computed_epoch, dataset_->epoch());
+  EXPECT_EQ(wire.current_epoch, dataset_->epoch());
+  EXPECT_FALSE(wire.stale());
+  ASSERT_GT(wire.ranking.size(), 0u);
+  ASSERT_LE(wire.ranking.size(), 4u);
+
+  // Same pinned-epoch path in process: the ranking must agree exactly.
+  const OnlineDataset::EpochSnapshot snapshot = dataset_->Snapshot();
+  const PinnedEpochDetector pinned(*dataset_, snapshot, "LODA");
+  RankedSubspaces expected = beam_.Explain(*snapshot.data, pinned, 5, 2);
+  expected.subspaces.resize(wire.ranking.size());
+  expected.scores.resize(wire.ranking.size());
+  EXPECT_EQ(wire.ranking.subspaces, expected.subspaces);
+  EXPECT_EQ(wire.ranking.scores, expected.scores);
+  EXPECT_EQ(dataset_->stats().stale_serves, 0u);
+}
+
+TEST_F(OnlineServeTest, OnlineErrorsAreReported) {
+  StartServer();
+  ExplainClient client = MakeClient();
+
+  ExplainClient::IngestReply ingest = client.Ingest("nope", 1, NextRows(1));
+  EXPECT_EQ(ingest.status, ClientStatus::kServerError);
+  EXPECT_NE(ingest.error.find("unknown online dataset"), std::string::npos);
+
+  ingest = client.Ingest("stream", 2, NextRows(1));  // 5 doubles, 2 rows.
+  EXPECT_EQ(ingest.status, ClientStatus::kServerError);
+
+  ingest = client.Ingest("stream", 1, std::vector<double>(3, 0.0));
+  EXPECT_EQ(ingest.status, ClientStatus::kServerError);
+  EXPECT_NE(ingest.error.find("width mismatch"), std::string::npos);
+
+  ingest = client.Ingest("stream", 0, {});
+  EXPECT_EQ(ingest.status, ClientStatus::kServerError);
+  EXPECT_NE(ingest.error.find("empty ingest"), std::string::npos);
+
+  // Window still empty: scoring and explaining refuse.
+  ExplainClient::OnlineScoreReply score =
+      client.OnlineScore("stream", "LODA", Subspace({0}));
+  EXPECT_EQ(score.status, ClientStatus::kServerError);
+  EXPECT_NE(score.error.find("window below minimum"), std::string::npos);
+
+  ASSERT_TRUE(client.Ingest("stream", 32, NextRows(32)).ok());
+  score = client.OnlineScore("stream", "nope", Subspace({0}));
+  EXPECT_EQ(score.status, ClientStatus::kServerError);
+  EXPECT_NE(score.error.find("unknown online detector"), std::string::npos);
+
+  score = client.OnlineScore("stream", "LODA", Subspace({99}));
+  EXPECT_EQ(score.status, ClientStatus::kServerError);
+  EXPECT_NE(score.error.find("out of range"), std::string::npos);
+
+  ExplainClient::OnlineExplainReply explain =
+      client.OnlineExplain("stream", "LODA", "nope", 0, 2);
+  EXPECT_EQ(explain.status, ClientStatus::kServerError);
+  EXPECT_NE(explain.error.find("unknown explainer"), std::string::npos);
+
+  explain = client.OnlineExplain("stream", "LODA", "Beam", 9999, 2);
+  EXPECT_EQ(explain.status, ClientStatus::kServerError);
+  EXPECT_NE(explain.error.find("point index"), std::string::npos);
+
+  explain = client.OnlineExplain("stream", "LODA", "Beam", 0, 1);
+  EXPECT_EQ(explain.status, ClientStatus::kServerError);
+  EXPECT_NE(explain.error.find("target_dim"), std::string::npos);
+}
+
+TEST_F(OnlineServeTest, StatsServesOnlineSection) {
+  StartServer();
+  ExplainClient client = MakeClient();
+  ASSERT_TRUE(client.Ingest("stream", 32, NextRows(32)).ok());
+  ASSERT_TRUE(client.OnlineScore("stream", "LODA", Subspace()).ok());
+
+  const ExplainClient::StatsReply stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  EXPECT_NE(stats.json.find("\"online\""), std::string::npos);
+  EXPECT_NE(stats.json.find("\"stream\""), std::string::npos);
+  EXPECT_NE(stats.json.find("\"total_ingested\":32"), std::string::npos);
+  EXPECT_NE(stats.json.find("\"stale_serves\""), std::string::npos);
+  EXPECT_NE(stats.json.find("\"drift_events\""), std::string::npos);
+}
+
+TEST_F(OnlineServeTest, ServedScoresStayValidAcrossAdvances) {
+  StartServer();
+  ExplainClient client = MakeClient();
+  ASSERT_TRUE(client.Ingest("stream", 64, NextRows(64)).ok());
+
+  // Interleave ingest and scoring; every reply must label its epoch and
+  // match the in-process recompute for that window.
+  for (int round = 0; round < 4; ++round) {
+    const ExplainClient::OnlineScoreReply wire =
+        client.OnlineScore("stream", "LODA", Subspace({0, 1}));
+    ASSERT_TRUE(wire.ok()) << wire.error;
+    EXPECT_EQ(wire.epoch, dataset_->epoch());
+    ASSERT_TRUE(client.Ingest("stream", 16, NextRows(16)).ok());
+  }
+  EXPECT_EQ(dataset_->epoch(), 8u);
+}
+
+}  // namespace
+}  // namespace subex

@@ -197,5 +197,54 @@ TEST(ScoreCacheTest, ConcurrentPutGetIsConsistent) {
   for (std::thread& t : threads) t.join();
 }
 
+TEST(ScoreCacheTest, EvictIfDropsOnlyMatchingKeys) {
+  ScoreCache cache;
+  cache.Put(Key({0, 1}, "LODA@1"), MakeValue({1.0}));
+  cache.Put(Key({2, 3}, "LODA@1"), MakeValue({2.0}));
+  cache.Put(Key({0, 1}, "LODA@2"), MakeValue({3.0}));
+  ASSERT_EQ(cache.size(), 3u);
+  const std::size_t bytes_before = cache.bytes();
+
+  // The online subsystem's targeted invalidation: drop one epoch's entries,
+  // keep the rest.
+  const std::size_t evicted = cache.EvictIf([](const ScoreKey& key) {
+    return key.detector.ends_with("@1");
+  });
+  EXPECT_EQ(evicted, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_LT(cache.bytes(), bytes_before);
+  EXPECT_EQ(cache.Get(Key({0, 1}, "LODA@1")), nullptr);
+  EXPECT_EQ(cache.Get(Key({2, 3}, "LODA@1")), nullptr);
+  ASSERT_NE(cache.Get(Key({0, 1}, "LODA@2")), nullptr);
+  EXPECT_EQ(cache.Get(Key({0, 1}, "LODA@2"))->front(), 3.0);
+}
+
+TEST(ScoreCacheTest, EvictIfNoMatchIsANoOp) {
+  ScoreCache cache;
+  cache.Put(Key({0}), MakeValue({1.0}));
+  EXPECT_EQ(cache.EvictIf([](const ScoreKey&) { return false; }), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ScoreCacheTest, EvictIfReleasesManagerBudget) {
+  EvictionManager::Options manager_options;
+  manager_options.budget_bytes = 1 << 20;
+  EvictionManager manager(manager_options);
+  ScoreCacheOptions options;
+  options.manager = &manager;
+  options.name = "evictif";
+  ScoreCache cache(options);
+  cache.Put(Key({0, 1}, "d@1"), MakeValue({1.0, 2.0, 3.0}));
+  cache.Put(Key({0, 1}, "d@2"), MakeValue({4.0, 5.0, 6.0}));
+  const std::size_t used_before = manager.used_bytes();
+  ASSERT_GT(used_before, 0u);
+
+  cache.EvictIf(
+      [](const ScoreKey& key) { return key.detector.ends_with("@1"); });
+  // The freed bytes were returned to the manager, not leaked as reserved.
+  EXPECT_LT(manager.used_bytes(), used_before);
+  EXPECT_EQ(manager.used_bytes(), cache.bytes());
+}
+
 }  // namespace
 }  // namespace subex

@@ -50,6 +50,43 @@ TEST(SlidingWindowTest, SnapshotPreservesOrderAndValues) {
   EXPECT_EQ(snapshot.Value(1, 0), 2.0);
 }
 
+TEST(SlidingWindowTest, EmptyWindowQueries) {
+  SlidingWindow window(4, 2);
+  EXPECT_EQ(window.size(), 0u);
+  EXPECT_FALSE(window.saturated());
+  EXPECT_EQ(window.WindowIndex(0), -1);
+  EXPECT_EQ(window.WindowIndex(-1), -1);
+  EXPECT_EQ(window.capacity(), 4u);
+  EXPECT_EQ(window.num_features(), 2u);
+}
+
+TEST(SlidingWindowTest, AdvanceFarBeyondCapacityKeepsNewestRows) {
+  SlidingWindow window(2, 1);
+  for (int i = 0; i < 5; ++i) {
+    const std::vector<double> row = {static_cast<double>(i)};
+    EXPECT_EQ(window.Push(row), i);
+  }
+  EXPECT_EQ(window.size(), 2u);
+  EXPECT_TRUE(window.saturated());
+  EXPECT_EQ(window.StreamId(0), 3);
+  EXPECT_EQ(window.StreamId(1), 4);
+  EXPECT_EQ(window.WindowIndex(2), -1);  // Evicted by the overshoot.
+  const Dataset snapshot = window.Snapshot();
+  EXPECT_EQ(snapshot.Value(0, 0), 3.0);
+  EXPECT_EQ(snapshot.Value(1, 0), 4.0);
+}
+
+TEST(SlidingWindowTest, MinimumCapacityStillSlides) {
+  SlidingWindow window(2, 1);  // The enforced capacity floor.
+  for (int i = 0; i < 4; ++i) {
+    const std::vector<double> row = {static_cast<double>(10 + i)};
+    window.Push(row);
+    EXPECT_EQ(window.size(), std::min<std::size_t>(2, i + 1));
+    const Dataset snapshot = window.Snapshot();
+    EXPECT_EQ(snapshot.Value(snapshot.num_points() - 1, 0), 10.0 + i);
+  }
+}
+
 DriftingStreamConfig SmallStream() {
   DriftingStreamConfig config;
   config.chunk_size = 120;
