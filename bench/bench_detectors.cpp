@@ -28,12 +28,19 @@ Dataset MakeData(int n, int dims) {
   return Dataset(std::move(m));
 }
 
-// Scores a fixed 3d subspace of a `state.range(0)`-point dataset.
+// Scores a fixed 3d subspace of a `state.range(0)`-point dataset. Each
+// iteration runs under a CounterSpan, so `--metrics-port` scrapes see live
+// per-kernel cycles/IPC/LLC-miss series (`subex_prof_*_kernel_<name>_*`)
+// next to google-benchmark's wall clock — the evidence the SIMD roadmap
+// item is judged against.
 template <typename DetectorT>
 void BM_ScoreSubspace(benchmark::State& state, DetectorT detector) {
   const Dataset data = MakeData(static_cast<int>(state.range(0)), 10);
   const Subspace subspace({1, 4, 7});
+  const ProfCounterSet prof =
+      ProfCounterSet::ForKernel("kernel." + detector.name());
   for (auto _ : state) {
+    CounterSpan prof_span(&prof);
     benchmark::DoNotOptimize(detector.Score(data, subspace));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -65,7 +72,9 @@ void BM_LofByDim(benchmark::State& state) {
   for (int f = 0; f < dim; ++f) features.push_back(f);
   const Subspace subspace(features);
   const Lof lof(15);
+  const ProfCounterSet prof = ProfCounterSet::ForKernel("kernel.LOF");
   for (auto _ : state) {
+    CounterSpan prof_span(&prof);
     benchmark::DoNotOptimize(lof.Score(data, subspace));
   }
 }
@@ -76,7 +85,9 @@ void BM_HicsContrast(benchmark::State& state) {
   options.mc_iterations = 100;  // Paper setting.
   const Hics hics(options);
   const Subspace subspace({1, 4, 7});
+  const ProfCounterSet prof = ProfCounterSet::ForKernel("kernel.HiCS");
   for (auto _ : state) {
+    CounterSpan prof_span(&prof);
     benchmark::DoNotOptimize(hics.Contrast(data, subspace));
   }
 }
@@ -123,14 +134,21 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Pull out `--json <path>` before benchmark::Initialize sees (and
-  // rejects) it as an unrecognized flag.
+  // Pull out the repo-level flags before benchmark::Initialize sees (and
+  // rejects) them as unrecognized.
   const std::string json_path = bench::FlagValue(argc, argv, "--json");
+  const std::string profile_out =
+      bench::FlagValue(argc, argv, "--profile-out");
+  const int profile_hz = bench::IntFlag(argc, argv, "--profile-hz", 0);
+  const int metrics_port = bench::IntFlag(argc, argv, "--metrics-port", -1);
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    const bool is_json_flag = std::strcmp(argv[i], "--json") == 0;
-    if (is_json_flag) {
-      if (i + 1 < argc) ++i;  // Skip the path operand too.
+    const bool is_repo_flag = std::strcmp(argv[i], "--json") == 0 ||
+                              std::strcmp(argv[i], "--profile-out") == 0 ||
+                              std::strcmp(argv[i], "--profile-hz") == 0 ||
+                              std::strcmp(argv[i], "--metrics-port") == 0;
+    if (is_repo_flag) {
+      if (i + 1 < argc) ++i;  // Skip the operand too.
       continue;
     }
     args.push_back(argv[i]);
@@ -142,10 +160,16 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
     return 1;
   }
+  RegisterProfProcessMetrics();
+  MetricsHttpServer metrics_server;
+  bench::StartMetricsEndpointIfRequested(metrics_server, metrics_port);
+  bench::StartProfilerIfRequested(profile_out, profile_hz);
   CapturingReporter reporter;
   reporter.report.SetMeta(JsonObject().Add("bench", "detectors"));
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  bench::WriteProfileIfRequested(profile_out);
+  metrics_server.Stop();
   if (!json_path.empty()) reporter.report.WriteTo(json_path);
   return 0;
 }

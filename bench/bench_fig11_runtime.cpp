@@ -22,11 +22,18 @@
 // Usage: bench_fig11_runtime [--full] [--seed N] [--threads N] [--no-cache]
 //                            [--stats] [--json out.json]
 //                            [--trace-out trace.json]
+//                            [--profile-out profile.folded] [--profile-hz N]
+//                            [--metrics-port P]
 //
 // --trace-out enables the process SpanCollector and writes every span the
 // run produced (detect.score, explain.refine, gt.search, ... as orphan
 // spans — there is no request trace in a batch bench) as Chrome
 // trace-event JSON for Perfetto / chrome://tracing.
+//
+// --profile-out arms the SIGPROF sampling profiler across the whole run
+// and writes collapsed flamegraph stacks; --metrics-port serves
+// GET /metrics so the subex_prof_* counter series (per-detector cycles,
+// IPC, LLC misses) can be scraped mid-run.
 //
 // --stats prints, per dataset, the per-detector cache counters plus the
 // metrics-registry snapshot (the same JSON the ExplainServer kStats
@@ -53,6 +60,14 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) {
     SpanCollector::Global().Enable(/*ring_capacity_per_thread=*/1 << 16);
   }
+  const std::string profile_out =
+      bench::FlagValue(argc, argv, "--profile-out");
+  RegisterProfProcessMetrics();
+  bench::StartProfilerIfRequested(
+      profile_out, bench::IntFlag(argc, argv, "--profile-hz", 0));
+  MetricsHttpServer metrics_server;
+  bench::StartMetricsEndpointIfRequested(
+      metrics_server, bench::IntFlag(argc, argv, "--metrics-port", -1));
   bench::JsonTimingReport report;
   report.SetMeta(JsonObject()
                      .Add("bench", "fig11_runtime")
@@ -80,8 +95,10 @@ int main(int argc, char** argv) {
     std::printf("--- %s (%zu pts, %zu feats) ---\n", entry.data.name.c_str(),
                 data.num_points(), data.num_features());
     // Scope the registry's histograms to this dataset section (testbed
-    // construction above also fed detect.score/gt.search).
+    // construction above also fed detect.score/gt.search). The prof
+    // availability gauges survive the reset for mid-run scrapes.
     MetricsRegistry::Global().Reset();
+    RegisterProfProcessMetrics();
 
     TextTable table;
     std::vector<std::string> header = {"pipeline"};
@@ -208,6 +225,8 @@ int main(int argc, char** argv) {
       std::printf("cannot open %s for writing\n", trace_out.c_str());
     }
   }
+  bench::WriteProfileIfRequested(profile_out);
+  metrics_server.Stop();
   std::printf(
       "paper expectation: LOF fastest / FastABOD slowest per subspace;\n"
       "Beam grows steeply with explanation dim while RefOut stays flat;\n"

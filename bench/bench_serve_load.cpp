@@ -38,6 +38,8 @@ struct LoadConfig {
   std::uint64_t seed = 9001;
   std::string json_path;
   std::string trace_out;
+  std::string profile_out;
+  int profile_hz = 0;  // 0 = profiler default.
 };
 
 /// Writes `text` to `path`; false + a printed message on failure.
@@ -136,6 +138,9 @@ int main(int argc, char** argv) {
       IntFlag(argc, argv, "--seed", static_cast<int>(config.seed)));
   config.json_path = bench::FlagValue(argc, argv, "--json");
   config.trace_out = bench::FlagValue(argc, argv, "--trace-out");
+  config.profile_out = bench::FlagValue(argc, argv, "--profile-out");
+  config.profile_hz = IntFlag(argc, argv, "--profile-hz", 0);
+  RegisterProfProcessMetrics();
 
   // Enable span collection up front so client-side spans are captured too
   // (the loopback bench runs both processes' roles in one process, so one
@@ -176,6 +181,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // After server.Start so the profiler's process sweep catches the poll
+  // loop thread; pool workers are already covered by the thread hooks.
+  bench::StartProfilerIfRequested(config.profile_out, config.profile_hz);
+
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<ClientResult> results(
       static_cast<std::size_t>(config.clients));
@@ -194,6 +203,7 @@ int main(int argc, char** argv) {
           .count();
 
   const ServerStatsSnapshot stats = server.stats();
+  bench::WriteProfileIfRequested(config.profile_out);
   server.Stop();
 
   std::vector<double> latencies;

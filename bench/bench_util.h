@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -48,6 +49,69 @@ inline std::string FlagValue(int argc, char** argv, const char* flag,
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return fallback;
+}
+
+/// Integer flag value ("--metrics-port 9109" -> 9109), `fallback` when
+/// absent or unparsable.
+inline int IntFlag(int argc, char** argv, const char* flag, int fallback) {
+  const std::string value = FlagValue(argc, argv, flag);
+  if (value.empty()) return fallback;
+  return std::atoi(value.c_str());
+}
+
+/// `--profile-out` support shared by the bench mains: arms the global
+/// `SamplingProfiler` (no-op with a warning where per-thread timers are
+/// unavailable or obs is compiled out). `hz <= 0` keeps the default rate.
+inline void StartProfilerIfRequested(const std::string& profile_out, int hz) {
+  if (profile_out.empty()) return;
+  SamplingProfilerOptions options;
+  if (hz > 0) options.sample_hz = hz;
+  std::string error;
+  if (SamplingProfiler::Global().Start(options, &error)) {
+    std::printf("profiling at %d Hz -> %s\n", options.sample_hz,
+                profile_out.c_str());
+  } else {
+    std::printf("profiler disabled: %s\n", error.c_str());
+  }
+}
+
+/// Stops the profiler and writes the collapsed-stack flamegraph text
+/// (`frame;frame count` lines — flamegraph.pl / speedscope input) to
+/// `profile_out`.
+inline void WriteProfileIfRequested(const std::string& profile_out) {
+  if (profile_out.empty()) return;
+  SamplingProfiler& profiler = SamplingProfiler::Global();
+  profiler.Stop();
+  const std::string collapsed = profiler.ToCollapsedText();
+  std::FILE* file = std::fopen(profile_out.c_str(), "w");
+  if (file == nullptr) {
+    std::printf("cannot open %s for writing\n", profile_out.c_str());
+    return;
+  }
+  std::fwrite(collapsed.data(), 1, collapsed.size(), file);
+  std::fclose(file);
+  std::printf("wrote %llu samples (%llu dropped) to %s\n",
+              static_cast<unsigned long long>(profiler.samples()),
+              static_cast<unsigned long long>(profiler.dropped()),
+              profile_out.c_str());
+}
+
+/// `--metrics-port` support: binds the standalone scrape endpoint so
+/// counter/histogram series are observable mid-run (parity with
+/// `bench_stream_serve`, which serves /metrics from its `ExplainServer`).
+/// Returns false (after a warning) when the port is taken or obs is
+/// compiled out; `port < 0` means not requested.
+inline bool StartMetricsEndpointIfRequested(MetricsHttpServer& server,
+                                            int port) {
+  if (port < 0) return false;
+  std::string error;
+  if (!server.Start(static_cast<std::uint16_t>(port), &error)) {
+    std::printf("metrics endpoint disabled: %s\n", error.c_str());
+    return false;
+  }
+  std::printf("serving GET /metrics on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  return true;
 }
 
 /// Machine-readable companion to the human tables: benches append one

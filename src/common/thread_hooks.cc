@@ -1,0 +1,28 @@
+#include "common/thread_hooks.h"
+
+#include <atomic>
+
+namespace subex {
+namespace {
+
+std::atomic<ThreadHook> g_on_start{nullptr};
+std::atomic<ThreadHook> g_on_exit{nullptr};
+
+}  // namespace
+
+void SetThreadLifecycleHooks(ThreadHook on_start, ThreadHook on_exit) {
+  g_on_start.store(on_start, std::memory_order_release);
+  g_on_exit.store(on_exit, std::memory_order_release);
+}
+
+void NotifyThreadStart() {
+  const ThreadHook hook = g_on_start.load(std::memory_order_acquire);
+  if (hook != nullptr) hook();
+}
+
+void NotifyThreadExit() {
+  const ThreadHook hook = g_on_exit.load(std::memory_order_acquire);
+  if (hook != nullptr) hook();
+}
+
+}  // namespace subex

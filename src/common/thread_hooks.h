@@ -1,0 +1,22 @@
+#ifndef SUBEX_COMMON_THREAD_HOOKS_H_
+#define SUBEX_COMMON_THREAD_HOOKS_H_
+
+namespace subex {
+
+/// Process-wide worker-thread lifecycle hooks. `ThreadPool` workers call
+/// `NotifyThreadStart()` as their loop begins and `NotifyThreadExit()` as
+/// it returns, so cross-cutting layers (the sampling profiler) can attach
+/// per-thread state to pools created at any time — without `common`
+/// depending on those layers. At most one hook pair is installed (the
+/// profiler's translation unit installs its pair from a static
+/// initializer); installation is not thread-safe and must happen before
+/// pools are built, which static initialization guarantees.
+using ThreadHook = void (*)();
+
+void SetThreadLifecycleHooks(ThreadHook on_start, ThreadHook on_exit);
+void NotifyThreadStart();
+void NotifyThreadExit();
+
+}  // namespace subex
+
+#endif  // SUBEX_COMMON_THREAD_HOOKS_H_

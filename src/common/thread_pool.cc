@@ -3,6 +3,8 @@
 #include <exception>
 #include <utility>
 
+#include "common/thread_hooks.h"
+
 namespace subex {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -82,6 +84,7 @@ void ThreadPool::ParallelFor(std::size_t count,
 }
 
 void ThreadPool::WorkerLoop() {
+  NotifyThreadStart();
   for (;;) {
     std::function<void()> task;
     {
@@ -89,7 +92,7 @@ void ThreadPool::WorkerLoop() {
       task_available_.wait(
           lock, [this] { return shutting_down_ || !tasks_.empty(); });
       if (tasks_.empty()) {
-        if (shutting_down_) return;
+        if (shutting_down_) break;
         continue;
       }
       task = std::move(tasks_.front());
@@ -102,6 +105,7 @@ void ThreadPool::WorkerLoop() {
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }
+  NotifyThreadExit();
 }
 
 }  // namespace subex

@@ -424,4 +424,50 @@ ExplainClient::TraceDumpReply ExplainClient::TraceDump(bool clear) {
   return reply;
 }
 
+ExplainClient::ProfDumpReply ExplainClient::ProfRoundTrip(
+    const ProfDumpRequest& request) {
+  ProfDumpReply reply;
+  const std::uint64_t id = next_request_id_++;
+  MessageType type = MessageType::kError;
+  std::vector<std::uint8_t> body;
+  // Untraced, like TraceDump: control traffic stays out of the profile.
+  reply.status = RoundTrip(EncodeProfDumpRequest(id, request), id, &type,
+                           &body, &reply.error);
+  if (reply.status != ClientStatus::kOk) return reply;
+  WireReader reader(body);
+  ProfDumpResult result;
+  if (!DecodeProfDumpResult(reader, &result)) {
+    reply.status = ClientStatus::kTransportError;
+    reply.error = "undecodable prof dump body";
+    return reply;
+  }
+  if (type == MessageType::kError) {
+    reply.status = ClientStatus::kServerError;
+    reply.error = result.text;
+    return reply;
+  }
+  reply.text = std::move(result.text);
+  return reply;
+}
+
+ExplainClient::ProfDumpReply ExplainClient::ProfStart(std::uint32_t sample_hz) {
+  ProfDumpRequest request;
+  request.action = ProfAction::kStart;
+  request.sample_hz = sample_hz;
+  return ProfRoundTrip(request);
+}
+
+ExplainClient::ProfDumpReply ExplainClient::ProfStop() {
+  ProfDumpRequest request;
+  request.action = ProfAction::kStop;
+  return ProfRoundTrip(request);
+}
+
+ExplainClient::ProfDumpReply ExplainClient::ProfDump(bool clear) {
+  ProfDumpRequest request;
+  request.action = ProfAction::kDump;
+  request.clear = clear;
+  return ProfRoundTrip(request);
+}
+
 }  // namespace subex

@@ -101,6 +101,14 @@ class ExplainClient {
     std::string json;  ///< Chrome trace-event JSON (Perfetto-loadable).
     bool ok() const { return status == ClientStatus::kOk; }
   };
+  struct ProfDumpReply {
+    ClientStatus status = ClientStatus::kTransportError;
+    std::string error;
+    /// Collapsed flamegraph stacks (`kDump`) or a status JSON
+    /// (`kStart`/`kStop`); see `ProfDumpResult`.
+    std::string text;
+    bool ok() const { return status == ClientStatus::kOk; }
+  };
   struct IngestReply {
     ClientStatus status = ClientStatus::kTransportError;
     std::string error;
@@ -136,6 +144,16 @@ class ExplainClient {
   /// `kTraceDump`: the server's collected spans as Chrome trace-event JSON
   /// (`clear` resets the server's collector after the dump).
   TraceDumpReply TraceDump(bool clear = false);
+  /// `kProfDump`/`ProfAction::kStart`: arm the server's sampling profiler
+  /// (`sample_hz` 0 = server default). The reply text reports
+  /// running/supported — an unsupported server answers gracefully rather
+  /// than with `kError`.
+  ProfDumpReply ProfStart(std::uint32_t sample_hz = 0);
+  /// `kProfDump`/`ProfAction::kStop`: disarm; samples stay dumpable.
+  ProfDumpReply ProfStop();
+  /// `kProfDump`/`ProfAction::kDump`: collapsed-stack flamegraph text of
+  /// the server's samples (`clear` resets the rings after the dump).
+  ProfDumpReply ProfDump(bool clear = false);
   /// `kIngest`: append row-major points to online dataset `dataset`
   /// (`values.size()` must be a positive multiple of `num_rows`).
   IngestReply Ingest(const std::string& dataset, std::uint32_t num_rows,
@@ -175,6 +193,8 @@ class ExplainClient {
   bool SendAndReceive(const std::vector<std::uint8_t>& request,
                       std::uint64_t request_id, MessageHeader* header,
                       std::vector<std::uint8_t>* body, std::string* error);
+  /// Shared body of the three `Prof*` calls.
+  ProfDumpReply ProfRoundTrip(const ProfDumpRequest& request);
   /// Fresh trace id when tracing is on (also remembered in
   /// `last_trace_id_`); 0 otherwise.
   std::uint64_t BeginTrace();

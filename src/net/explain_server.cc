@@ -20,6 +20,8 @@
 #include "obs/registry.h"
 #include "obs/span_collector.h"
 #include "obs/trace.h"
+#include "prof/perf_counters.h"
+#include "prof/sampling_profiler.h"
 
 namespace subex {
 
@@ -129,6 +131,8 @@ ExplainServer::ExplainServer(const ExplainServerOptions& options,
       online_explain_request_histogram_(
           &MetricsRegistry::Global().GetHistogram(
               "serve.request.online_explain")),
+      prof_request_histogram_(
+          &MetricsRegistry::Global().GetHistogram("serve.request.prof")),
       explain_search_histogram_(
           &MetricsRegistry::Global().GetHistogram("explain.search")),
       bytes_received_(
@@ -167,6 +171,9 @@ bool ExplainServer::Start(std::string* error) {
   listener_ = ListenTcp(options_.host, options_.port, options_.listen_backlog,
                         &port_, error);
   if (!listener_.valid()) return false;
+  // Make the prof availability gauges scrapeable from the first request —
+  // they exist (as zeros) even where perf_event_open is denied.
+  RegisterProfProcessMetrics();
   if (options_.metrics_port >= 0) {
     metrics_listener_ =
         ListenTcp(options_.host, static_cast<std::uint16_t>(options_.metrics_port),
@@ -687,6 +694,9 @@ void ExplainServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     case MessageType::kOnlineExplain:
       online_explain_request_histogram_->Record(end_to_end_ns);
       break;
+    case MessageType::kProfDump:
+      prof_request_histogram_->Record(end_to_end_ns);
+      break;
     default:
       break;
   }
@@ -757,6 +767,8 @@ std::vector<std::uint8_t> ExplainServer::ComputeResponse(
       return HandleOnlineScore(header.request_id, reader);
     case MessageType::kOnlineExplain:
       return HandleOnlineExplain(header.request_id, reader);
+    case MessageType::kProfDump:
+      return HandleProfDump(header.request_id, reader);
     default:
       return EncodeError(header.request_id, "unsupported request type");
   }
@@ -893,6 +905,51 @@ std::vector<std::uint8_t> ExplainServer::HandleTraceDump(
   result.text = kEmptyChromeTrace;
 #endif
   return EncodeTraceDumpResult(request_id, result);
+}
+
+std::vector<std::uint8_t> ExplainServer::HandleProfDump(
+    std::uint64_t request_id, WireReader& reader) {
+  ProfDumpRequest request;
+  if (!DecodeProfDumpRequest(reader, &request)) {
+    return EncodeError(request_id, "malformed kProfDump body");
+  }
+  // The SUBEX_OBS_DISABLED stubs make every branch a well-formed no-op
+  // (start fails gracefully, dumps are empty), so this handler needs no
+  // compile-time split.
+  SamplingProfiler& profiler = SamplingProfiler::Global();
+  ProfDumpResult result;
+  switch (request.action) {
+    case ProfAction::kStart: {
+      SamplingProfilerOptions options;
+      if (request.sample_hz != 0) {
+        options.sample_hz = static_cast<int>(request.sample_hz);
+      }
+      std::string error;
+      const bool started = profiler.Start(options, &error);
+      JsonObject status;
+      status.Add("running", profiler.running());
+      status.Add("sample_hz", profiler.sample_hz());
+      status.Add("supported", SamplingProfiler::SupportedOnThisSystem());
+      if (!started) status.Add("error", error);
+      result.text = status.Build();
+      break;
+    }
+    case ProfAction::kStop: {
+      profiler.Stop();
+      result.text = JsonObject()
+                        .Add("running", false)
+                        .Add("samples", profiler.samples())
+                        .Add("dropped", profiler.dropped())
+                        .Build();
+      break;
+    }
+    case ProfAction::kDump: {
+      result.text = profiler.ToCollapsedText();
+      if (request.clear) profiler.Clear();
+      break;
+    }
+  }
+  return EncodeProfDumpResult(request_id, result);
 }
 
 std::vector<std::uint8_t> ExplainServer::HandleIngest(std::uint64_t request_id,

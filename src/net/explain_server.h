@@ -188,6 +188,8 @@ class ExplainServer {
                                               WireReader& reader);
   std::vector<std::uint8_t> HandleOnlineExplain(std::uint64_t request_id,
                                                 WireReader& reader);
+  std::vector<std::uint8_t> HandleProfDump(std::uint64_t request_id,
+                                           WireReader& reader);
   /// `trace_id`/`parent_span_id` label the response's eventual `net.write`
   /// span (0 = untraced).
   void EnqueueResponse(const std::shared_ptr<Connection>& conn,
@@ -229,6 +231,7 @@ class ExplainServer {
   Histogram* ingest_request_histogram_;   ///< serve.request.ingest.
   Histogram* online_score_request_histogram_;    ///< serve.request.online_score.
   Histogram* online_explain_request_histogram_;  ///< serve.request.online_explain.
+  Histogram* prof_request_histogram_;  ///< serve.request.prof.
   Histogram* explain_search_histogram_;   ///< explain.search (handler side).
   Counter* bytes_received_;          ///< net.bytes_received.
   Counter* bytes_sent_;              ///< net.bytes_sent.

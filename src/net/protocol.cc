@@ -24,7 +24,7 @@ bool IsRequestType(MessageType type) {
   return type == MessageType::kScore || type == MessageType::kExplain ||
          type == MessageType::kStats || type == MessageType::kTraceDump ||
          type == MessageType::kIngest || type == MessageType::kOnlineScore ||
-         type == MessageType::kOnlineExplain;
+         type == MessageType::kOnlineExplain || type == MessageType::kProfDump;
 }
 
 void EncodeSubspace(WireWriter& writer, const Subspace& subspace) {
@@ -141,6 +141,23 @@ std::vector<std::uint8_t> EncodeStatsResult(std::uint64_t request_id,
 std::vector<std::uint8_t> EncodeTraceDumpResult(std::uint64_t request_id,
                                                 const TextResult& result) {
   WireWriter writer = BeginMessage(MessageType::kTraceDumpResult, request_id);
+  writer.PutString(result.text);
+  return writer.Take();
+}
+
+std::vector<std::uint8_t> EncodeProfDumpRequest(std::uint64_t request_id,
+                                                const ProfDumpRequest& request,
+                                                std::uint64_t trace_id) {
+  WireWriter writer = BeginMessage(MessageType::kProfDump, request_id, trace_id);
+  writer.PutU8(static_cast<std::uint8_t>(request.action));
+  writer.PutU32(request.sample_hz);
+  writer.PutU8(request.clear ? 1 : 0);
+  return writer.Take();
+}
+
+std::vector<std::uint8_t> EncodeProfDumpResult(std::uint64_t request_id,
+                                               const ProfDumpResult& result) {
+  WireWriter writer = BeginMessage(MessageType::kProfDumpResult, request_id);
   writer.PutString(result.text);
   return writer.Take();
 }
@@ -294,6 +311,20 @@ bool DecodeOnlineExplainResult(WireReader& reader, OnlineExplainResult* out) {
     if (!reader.ok()) return false;
     out->ranking.Add(std::move(subspace), score);
   }
+  return reader.AtEnd();
+}
+
+bool DecodeProfDumpRequest(WireReader& reader, ProfDumpRequest* out) {
+  const std::uint8_t action = reader.GetU8();
+  out->sample_hz = reader.GetU32();
+  out->clear = reader.GetU8() != 0;
+  if (action > static_cast<std::uint8_t>(ProfAction::kStop)) return false;
+  out->action = static_cast<ProfAction>(action);
+  return reader.AtEnd();
+}
+
+bool DecodeProfDumpResult(WireReader& reader, ProfDumpResult* out) {
+  out->text = reader.GetString();
   return reader.AtEnd();
 }
 

@@ -28,6 +28,7 @@ enum class MessageType : std::uint8_t {
   kIngest = 5,         ///< Append rows to a named online dataset.
   kOnlineScore = 6,    ///< Score the current window of an online dataset.
   kOnlineExplain = 7,  ///< Explain a window row of an online dataset.
+  kProfDump = 8,       ///< Control/dump the server's sampling profiler.
   // Responses (server → client).
   kScoreResult = 64,
   kExplainResult = 65,
@@ -36,6 +37,7 @@ enum class MessageType : std::uint8_t {
   kIngestResult = 68,
   kOnlineScoreResult = 69,
   kOnlineExplainResult = 70,
+  kProfDumpResult = 71,
   kBusy = 100,   ///< Request queue full — retry with backoff.
   kError = 101,  ///< Malformed or unserviceable request; body is a message.
 };
@@ -152,6 +154,29 @@ struct OnlineExplainRequest {
   std::uint32_t max_results = 0;
 };
 
+/// What a `kProfDump` request asks of the server's `SamplingProfiler`.
+enum class ProfAction : std::uint8_t {
+  kDump = 0,   ///< Export collapsed stacks (optionally clearing after).
+  kStart = 1,  ///< Arm per-thread timers at `sample_hz`.
+  kStop = 2,   ///< Disarm timers; samples stay dumpable.
+};
+
+/// `kProfDump`: drive the server-side profiler. For `kStart`,
+/// `sample_hz == 0` means the default rate; for `kDump`, `clear` resets
+/// the sample rings after the export (the `kTraceDump` convention).
+struct ProfDumpRequest {
+  ProfAction action = ProfAction::kDump;
+  std::uint32_t sample_hz = 0;
+  bool clear = false;
+};
+
+/// `kProfDumpResult`: for `kDump` the collapsed-stack flamegraph text
+/// (empty when nothing was sampled); for `kStart`/`kStop` a one-line JSON
+/// status `{"running":...,"sample_hz":...,"supported":...}`.
+struct ProfDumpResult {
+  std::string text;
+};
+
 /// `kOnlineExplainResult`: the ranking plus its freshness — the epoch the
 /// explanation was computed against and the epoch current when the reply
 /// was produced. `computed_epoch < current_epoch` marks a stale serve (the
@@ -200,6 +225,9 @@ std::vector<std::uint8_t> EncodeOnlineScoreRequest(
 std::vector<std::uint8_t> EncodeOnlineExplainRequest(
     std::uint64_t request_id, const OnlineExplainRequest& request,
     std::uint64_t trace_id = 0);
+std::vector<std::uint8_t> EncodeProfDumpRequest(std::uint64_t request_id,
+                                                const ProfDumpRequest& request,
+                                                std::uint64_t trace_id = 0);
 std::vector<std::uint8_t> EncodeScoreResult(std::uint64_t request_id,
                                             const ScoreResult& result);
 std::vector<std::uint8_t> EncodeExplainResult(std::uint64_t request_id,
@@ -214,6 +242,8 @@ std::vector<std::uint8_t> EncodeOnlineScoreResult(
     std::uint64_t request_id, const OnlineScoreResult& result);
 std::vector<std::uint8_t> EncodeOnlineExplainResult(
     std::uint64_t request_id, const OnlineExplainResult& result);
+std::vector<std::uint8_t> EncodeProfDumpResult(std::uint64_t request_id,
+                                               const ProfDumpResult& result);
 std::vector<std::uint8_t> EncodeBusy(std::uint64_t request_id);
 std::vector<std::uint8_t> EncodeError(std::uint64_t request_id,
                                       const std::string& message);
@@ -230,11 +260,13 @@ bool DecodeExplainRequest(WireReader& reader, ExplainRequest* out);
 bool DecodeIngestRequest(WireReader& reader, IngestRequest* out);
 bool DecodeOnlineScoreRequest(WireReader& reader, OnlineScoreRequest* out);
 bool DecodeOnlineExplainRequest(WireReader& reader, OnlineExplainRequest* out);
+bool DecodeProfDumpRequest(WireReader& reader, ProfDumpRequest* out);
 bool DecodeScoreResult(WireReader& reader, ScoreResult* out);
 bool DecodeExplainResult(WireReader& reader, ExplainResult* out);
 bool DecodeIngestResult(WireReader& reader, IngestResult* out);
 bool DecodeOnlineScoreResult(WireReader& reader, OnlineScoreResult* out);
 bool DecodeOnlineExplainResult(WireReader& reader, OnlineExplainResult* out);
+bool DecodeProfDumpResult(WireReader& reader, ProfDumpResult* out);
 /// Body of `kStatsResult` and `kError` (a single string).
 bool DecodeTextResult(WireReader& reader, TextResult* out);
 

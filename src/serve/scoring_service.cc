@@ -46,7 +46,8 @@ ScoringService::ScoringService(const Detector& detector, const Dataset& data,
       pool_(pool),
       score_histogram_(&MetricsRegistry::Global().GetHistogram("detect.score")),
       detector_histogram_(&MetricsRegistry::Global().GetHistogram(
-          "detect.score." + detector_name_)) {}
+          "detect.score." + detector_name_)),
+      prof_counters_(ProfCounterSet::ForKernel("detect." + detector_name_)) {}
 
 ScoringService::ScoringService(const Detector& detector, const Dataset& data,
                                std::shared_ptr<ScoreCache> cache,
@@ -59,7 +60,8 @@ ScoringService::ScoringService(const Detector& detector, const Dataset& data,
       pool_(pool),
       score_histogram_(&MetricsRegistry::Global().GetHistogram("detect.score")),
       detector_histogram_(&MetricsRegistry::Global().GetHistogram(
-          "detect.score." + detector_name_)) {}
+          "detect.score." + detector_name_)),
+      prof_counters_(ProfCounterSet::ForKernel("detect." + detector_name_)) {}
 
 ScoreVectorPtr ScoringService::Score(const Subspace& subspace) {
   ScoreKey key{detector_name_, subspace};
@@ -112,6 +114,10 @@ ScoreVectorPtr ScoringService::ComputeAndPublish(
   const auto start = Clock::now();
   ScoreVectorPtr value;
   try {
+    // Wall clock via the histograms below; cycles/IPC/misses via the
+    // counter span — together the per-kernel evidence the SIMD roadmap
+    // item is judged against.
+    CounterSpan prof_span(&prof_counters_);
     value = std::make_shared<const std::vector<double>>(
         ScoreStandardized(detector_, data_, key.subspace));
   } catch (...) {

@@ -13,6 +13,7 @@
 #include "data/dataset.h"
 #include "detect/detector.h"
 #include "obs/metrics.h"
+#include "prof/perf_counters.h"
 #include "serve/score_cache.h"
 #include "serve/service_stats.h"
 #include "subspace/subspace.h"
@@ -98,6 +99,10 @@ class ScoringService {
   /// `detect.score` across all detectors plus `detect.score.<name>`.
   Histogram* score_histogram_;
   Histogram* detector_histogram_;
+  /// Hardware-counter instruments of this detector's score kernel
+  /// (`prof.*.detect.<name>`), fed by a `CounterSpan` around each fresh
+  /// computation; zeros when perf counters are unavailable.
+  ProfCounterSet prof_counters_;
 
   std::mutex inflight_mutex_;
   std::unordered_map<ScoreKey, std::shared_future<ScoreVectorPtr>,

@@ -63,11 +63,14 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/metrics_http.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "online/drift_monitor.h"
 #include "online/online_dataset.h"
 #include "online/windowed_scorer.h"
+#include "prof/perf_counters.h"
+#include "prof/sampling_profiler.h"
 #include "serve/score_cache.h"
 #include "serve/scoring_service.h"
 #include "serve/service_stats.h"

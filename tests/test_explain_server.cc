@@ -15,6 +15,7 @@
 #include "explain/beam.h"
 #include "explain/refout.h"
 #include "net/explain_client.h"
+#include "prof/sampling_profiler.h"
 #include "subspace/enumeration.h"
 
 namespace subex {
@@ -605,6 +606,64 @@ TEST_F(ExplainServerTest, IdleTimeoutEmitsAStructuredEvent) {
   const ExplainClient::StatsReply reply = prober.Stats();
   ASSERT_TRUE(reply.ok()) << reply.error;
   EXPECT_NE(reply.json.find("serve.idle_timeout"), std::string::npos);
+}
+
+// The kProfDump acceptance loop: start the sampler over the wire, drive
+// scoring load, and expect the dumped flamegraph to name the detector
+// kernels that actually ran.
+TEST_F(ExplainServerTest, ProfDumpRoundTripCapturesDetectorKernelFrames) {
+  if (!SamplingProfiler::SupportedOnThisSystem()) {
+    GTEST_SKIP() << "per-thread SIGPROF timers unavailable here";
+  }
+  SamplingProfiler::Global().Clear();
+  StartServer();
+  ExplainClient client = MakeClient();
+
+  const ExplainClient::ProfDumpReply started = client.ProfStart(997);
+  ASSERT_TRUE(started.ok()) << started.error;
+  EXPECT_NE(started.text.find("\"running\":true"), std::string::npos)
+      << started.text;
+
+  // Distinct subspaces miss the score cache, so every request runs
+  // Lof::Score on a pool worker the profiler's sweep (or the thread
+  // hooks) attached. Keep scoring until enough wall time accumulated.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (SamplingProfiler::Global().samples() < 25 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (const Subspace& subspace :
+         EnumerateSubspaces(static_cast<int>(data_.dataset.num_features()),
+                            3)) {
+      ASSERT_TRUE(client.Score("LOF", subspace).ok());
+    }
+    lof_.Score(data_.dataset, Subspace({0, 1, 2}));  // In-process burn too.
+  }
+
+  const ExplainClient::ProfDumpReply dump = client.ProfDump(/*clear=*/false);
+  ASSERT_TRUE(dump.ok()) << dump.error;
+  ASSERT_FALSE(dump.text.empty());
+  EXPECT_NE(dump.text.find(';'), std::string::npos);
+  EXPECT_NE(dump.text.find("Lof::Score"), std::string::npos)
+      << dump.text.substr(0, 2000);
+
+  const ExplainClient::ProfDumpReply stopped = client.ProfStop();
+  ASSERT_TRUE(stopped.ok()) << stopped.error;
+  EXPECT_NE(stopped.text.find("\"running\":false"), std::string::npos);
+  EXPECT_FALSE(SamplingProfiler::Global().running());
+  SamplingProfiler::Global().Clear();
+}
+
+TEST_F(ExplainServerTest, ProfDumpWhenSamplerUnsupportedStillReplies) {
+  // Without a prior Start the dump is empty text, never an error — the
+  // endpoint is safe to poke unconditionally from dashboards.
+  StartServer();
+  ExplainClient client = MakeClient();
+  const ExplainClient::ProfDumpReply dump = client.ProfDump();
+  ASSERT_TRUE(dump.ok()) << dump.error;
+  EXPECT_TRUE(dump.text.empty());
+  const ExplainClient::ProfDumpReply stopped = client.ProfStop();
+  ASSERT_TRUE(stopped.ok()) << stopped.error;
+  EXPECT_NE(stopped.text.find("\"running\":false"), std::string::npos);
 }
 
 #endif  // SUBEX_OBS_DISABLED

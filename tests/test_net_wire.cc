@@ -484,5 +484,85 @@ TEST(ProtocolTest, TraceDumpRequestRoundTrip) {
   EXPECT_EQ(text.text, "{\"traceEvents\":[]}");
 }
 
+TEST(ProtocolTest, ProfDumpRequestRoundTripAllActions) {
+  for (const ProfAction action :
+       {ProfAction::kDump, ProfAction::kStart, ProfAction::kStop}) {
+    ProfDumpRequest request;
+    request.action = action;
+    request.sample_hz = 997;
+    request.clear = action == ProfAction::kDump;
+    const std::vector<std::uint8_t> payload =
+        EncodeProfDumpRequest(11, request);
+    WireReader reader(payload);
+    MessageHeader header;
+    ASSERT_TRUE(DecodeHeader(reader, &header));
+    EXPECT_EQ(header.type, MessageType::kProfDump);
+    EXPECT_EQ(header.request_id, 11u);
+    ProfDumpRequest back;
+    ASSERT_TRUE(DecodeProfDumpRequest(reader, &back));
+    EXPECT_EQ(back.action, action);
+    EXPECT_EQ(back.sample_hz, 997u);
+    EXPECT_EQ(back.clear, request.clear);
+  }
+  EXPECT_TRUE(IsRequestType(MessageType::kProfDump));
+  EXPECT_FALSE(IsRequestType(MessageType::kProfDumpResult));
+}
+
+TEST(ProtocolTest, ProfDumpRequestGoldenBytes) {
+  // Frozen frame layout: version, type, request id (u64 LE), action (u8),
+  // sample_hz (u32 LE), clear (u8). A change here is a wire break — bump
+  // kProtocolVersion instead of editing the expectation.
+  ProfDumpRequest request;
+  request.action = ProfAction::kStart;
+  request.sample_hz = 0x12345678;
+  request.clear = true;
+  const std::vector<std::uint8_t> payload = EncodeProfDumpRequest(5, request);
+  const std::vector<std::uint8_t> expected = {
+      kProtocolVersion,
+      static_cast<std::uint8_t>(MessageType::kProfDump),  // 8
+      5, 0, 0, 0, 0, 0, 0, 0,                             // request id
+      1,                                                  // kStart
+      0x78, 0x56, 0x34, 0x12,                             // sample_hz
+      1,                                                  // clear
+  };
+  EXPECT_EQ(payload, expected);
+}
+
+TEST(ProtocolTest, ProfDumpRequestRejectsUnknownActionAndTrailingBytes) {
+  ProfDumpRequest request;
+  std::vector<std::uint8_t> payload = EncodeProfDumpRequest(5, request);
+  // Action byte sits right after the 10-byte header.
+  payload[10] = 9;
+  {
+    WireReader reader(payload);
+    MessageHeader header;
+    ASSERT_TRUE(DecodeHeader(reader, &header));
+    ProfDumpRequest back;
+    EXPECT_FALSE(DecodeProfDumpRequest(reader, &back));
+  }
+  payload[10] = 0;
+  payload.push_back(0xFF);  // Trailing garbage must be rejected.
+  {
+    WireReader reader(payload);
+    MessageHeader header;
+    ASSERT_TRUE(DecodeHeader(reader, &header));
+    ProfDumpRequest back;
+    EXPECT_FALSE(DecodeProfDumpRequest(reader, &back));
+  }
+}
+
+TEST(ProtocolTest, ProfDumpResultRoundTrip) {
+  const std::vector<std::uint8_t> payload =
+      EncodeProfDumpResult(7, ProfDumpResult{"main;Lof::Score 42\n"});
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_EQ(header.type, MessageType::kProfDumpResult);
+  EXPECT_EQ(header.request_id, 7u);
+  ProfDumpResult back;
+  ASSERT_TRUE(DecodeProfDumpResult(reader, &back));
+  EXPECT_EQ(back.text, "main;Lof::Score 42\n");
+}
+
 }  // namespace
 }  // namespace subex

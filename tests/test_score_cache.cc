@@ -246,5 +246,69 @@ TEST(ScoreCacheTest, EvictIfReleasesManagerBudget) {
   EXPECT_EQ(manager.used_bytes(), cache.bytes());
 }
 
+TEST(ScoreCacheTest, EvictIfOnEmptyCacheIsExactlyZero) {
+  EvictionManager::Options manager_options;
+  manager_options.budget_bytes = 1 << 20;
+  EvictionManager manager(manager_options);
+  ScoreCacheOptions options;
+  options.manager = &manager;
+  options.name = "evictif-empty";
+  ScoreCache cache(options);
+  // Nothing cached: the sweep must report zero entries and must not call
+  // into the manager with a zero-byte release (freed == 0 short-circuits).
+  EXPECT_EQ(cache.EvictIf([](const ScoreKey&) { return true; }), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(manager.used_bytes(), 0u);
+}
+
+TEST(ScoreCacheTest, EvictIfNoMatchKeepsManagerAccountingExact) {
+  EvictionManager::Options manager_options;
+  manager_options.budget_bytes = 1 << 20;
+  EvictionManager manager(manager_options);
+  ScoreCacheOptions options;
+  options.manager = &manager;
+  options.name = "evictif-nomatch";
+  ScoreCache cache(options);
+  cache.Put(Key({0, 1}), MakeValue({1.0, 2.0}));
+  cache.Put(Key({2, 3}), MakeValue({3.0, 4.0}));
+  const std::size_t used_before = manager.used_bytes();
+  ASSERT_GT(used_before, 0u);
+
+  EXPECT_EQ(cache.EvictIf([](const ScoreKey&) { return false; }), 0u);
+  // No entry matched: reservations are byte-for-byte untouched and the
+  // entries stay retrievable.
+  EXPECT_EQ(manager.used_bytes(), used_before);
+  EXPECT_EQ(manager.used_bytes(), cache.bytes());
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.Get(Key({0, 1})), nullptr);
+  ASSERT_NE(cache.Get(Key({2, 3})), nullptr);
+}
+
+TEST(ScoreCacheTest, EvictIfEverythingReturnsAllBytesToManager) {
+  EvictionManager::Options manager_options;
+  manager_options.budget_bytes = 1 << 20;
+  EvictionManager manager(manager_options);
+  ScoreCacheOptions options;
+  options.manager = &manager;
+  options.name = "evictif-all";
+  ScoreCache cache(options);
+  cache.Put(Key({0, 1}), MakeValue({1.0, 2.0, 3.0}));
+  cache.Put(Key({2, 3}), MakeValue({4.0}));
+  ASSERT_GT(manager.used_bytes(), 0u);
+
+  EXPECT_EQ(cache.EvictIf([](const ScoreKey&) { return true; }), 2u);
+  // A full sweep returns every reserved byte — used must land on exactly
+  // zero, not drift by per-entry overhead.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(manager.used_bytes(), 0u);
+
+  // And the accounting still works for entries added after the sweep.
+  cache.Put(Key({4, 5}), MakeValue({5.0}));
+  EXPECT_GT(manager.used_bytes(), 0u);
+  EXPECT_EQ(manager.used_bytes(), cache.bytes());
+}
+
 }  // namespace
 }  // namespace subex

@@ -1,0 +1,332 @@
+#!/usr/bin/env python3
+"""Perf gate: diff a bench --json report against a checked-in baseline.
+
+Used by CI (and locally) to decide whether a change regressed the tracked
+benchmarks. Stdlib only.
+
+    bench_compare.py compare <candidate.json> <baseline.json>
+        [--spec auto|fig11|serve_load|detectors]
+        [--max-ratio R]      per-cell regression gate   (default 1.15)
+        [--max-geomean G]    whole-report geomean gate  (default 1.10)
+        [--min-seconds S]    noise floor for timing cells (default 0.05)
+        [--markdown out.md]  also write the delta table to a file
+    bench_compare.py inject <in.json> <out.json> [--factor F]
+    bench_compare.py selftest
+
+`compare` pairs the candidate's cells with the baseline's by key, computes
+per-cell ratios (candidate / baseline, normalized so that >1 always means
+"worse" -- throughput is inverted), prints a markdown delta table, and
+exits 1 with "PERF GATE: FAIL" if any *gated* cell exceeds --max-ratio or
+the geomean over gated cells exceeds --max-geomean. Cells whose baseline
+timing is under --min-seconds are reported but not gated: sub-noise-floor
+cells flap on shared CI runners. Cells present on only one side are
+reported and never gated (the benchmark grid legitimately changes shape
+when budgets skip cells on slower machines).
+
+Report shapes (auto-detected from meta.bench):
+  * fig11_runtime -- rows keyed (dataset, explainer, detector, dim),
+    metric `seconds`, lower is better. Rows with "kind":"metrics" are the
+    per-dataset registry snapshots, not timings; skipped.
+  * serve_load -- single row; gated metrics `throughput_rps` (higher is
+    better), `latency_p50_ms` and `latency_p99_ms` (lower is better).
+  * detectors -- rows keyed by benchmark name, metric `real_ms`.
+
+`inject` multiplies every gated timing metric by --factor (default 1.2,
+dividing throughput so the result reads as a slowdown) and writes the
+result; CI uses it to prove the gate actually turns red on a synthetic
+20% regression before trusting its green.
+
+Threshold guidance: the defaults (1.15 / 1.10) assume candidate and
+baseline ran on the SAME machine, as in the red-check. Comparing a CI
+runner against a baseline recorded elsewhere needs far looser bounds --
+the CI green-check passes --max-ratio/--max-geomean in the 3x range and
+is really an "order of magnitude and report-shape" check, documented in
+EXPERIMENTS.md under "Refreshing the bench baselines".
+"""
+
+import json
+import math
+import sys
+
+
+def die(message):
+    sys.stderr.write(f"bench_compare: {message}\n")
+    sys.exit(2)
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as err:
+        die(f"cannot read {path}: {err}")
+    if not isinstance(report, dict) or "rows" not in report:
+        die(f"{path} is not a bench report (no 'rows')")
+    return report
+
+
+def detect_spec(report, path):
+    bench = report.get("meta", {}).get("bench", "")
+    for spec, names in (
+        ("fig11", ("fig11_runtime",)),
+        ("serve_load", ("serve_load",)),
+        ("detectors", ("detectors",)),
+    ):
+        if bench in names:
+            return spec
+    die(f"cannot auto-detect spec for {path} (meta.bench={bench!r}); pass --spec")
+
+
+def fig11_cells(report):
+    """(key, value, lower_is_better) timing cells of a fig11 report."""
+    cells = []
+    for row in report["rows"]:
+        if row.get("kind") == "metrics" or "seconds" not in row:
+            continue
+        key = "{}/{}+{}@{}d".format(
+            row.get("dataset", "?"), row.get("explainer", "?"),
+            row.get("detector", "?"), row.get("dim", "?"))
+        cells.append((key, float(row["seconds"]), True))
+    return cells
+
+
+def serve_load_cells(report):
+    cells = []
+    for i, row in enumerate(report["rows"]):
+        prefix = f"row{i}/" if len(report["rows"]) > 1 else ""
+        for metric, lower_better in (
+            ("throughput_rps", False),
+            ("latency_p50_ms", True),
+            ("latency_p99_ms", True),
+        ):
+            if metric in row:
+                cells.append((prefix + metric, float(row[metric]), lower_better))
+    return cells
+
+
+def detectors_cells(report):
+    return [(row["name"], float(row["real_ms"]), True)
+            for row in report["rows"] if "name" in row and "real_ms" in row]
+
+
+SPECS = {
+    "fig11": (fig11_cells, "seconds"),
+    "serve_load": (serve_load_cells, "value"),
+    "detectors": (detectors_cells, "real_ms"),
+}
+
+
+def gated(spec, key, baseline_value, lower_better, min_seconds):
+    """Whether this cell participates in the pass/fail verdict."""
+    if spec == "fig11":
+        return baseline_value >= min_seconds
+    if spec == "detectors":
+        return baseline_value >= min_seconds * 1e3  # real_ms vs seconds floor.
+    return True  # serve_load aggregates are already noise-averaged.
+
+
+def compare(argv):
+    opts = {"--spec": "auto", "--max-ratio": "1.15", "--max-geomean": "1.10",
+            "--min-seconds": "0.05", "--markdown": ""}
+    paths = []
+    i = 0
+    while i < len(argv):
+        if argv[i] in opts:
+            if i + 1 >= len(argv):
+                die(f"{argv[i]} needs a value")
+            opts[argv[i]] = argv[i + 1]
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) != 2:
+        die("compare needs <candidate.json> <baseline.json>")
+    max_ratio = float(opts["--max-ratio"])
+    max_geomean = float(opts["--max-geomean"])
+    min_seconds = float(opts["--min-seconds"])
+
+    candidate = load_report(paths[0])
+    baseline = load_report(paths[1])
+    spec = opts["--spec"]
+    if spec == "auto":
+        spec = detect_spec(baseline, paths[1])
+    if spec not in SPECS:
+        die(f"unknown spec {spec!r}")
+    extract, unit = SPECS[spec]
+
+    cand = {key: (value, lower) for key, value, lower in extract(candidate)}
+    base = {key: (value, lower) for key, value, lower in extract(baseline)}
+
+    lines = [
+        f"### Perf gate: `{paths[0]}` vs baseline `{paths[1]}` ({spec})",
+        "",
+        f"| cell | baseline {unit} | candidate {unit} | ratio | gate |",
+        "|---|---:|---:|---:|---|",
+    ]
+    worst = None
+    log_sum, gated_cells, failed_cells = 0.0, 0, []
+    for key in sorted(base):
+        base_value, lower = base[key]
+        if key not in cand:
+            lines.append(f"| {key} | {base_value:.4g} | *missing* | - | skipped |")
+            continue
+        cand_value = cand[key][0]
+        if base_value <= 0 or cand_value <= 0:
+            lines.append(f"| {key} | {base_value:.4g} | {cand_value:.4g} | - | skipped |")
+            continue
+        # Normalize so ratio > 1 always means the candidate is worse.
+        ratio = (cand_value / base_value) if lower else (base_value / cand_value)
+        in_gate = gated(spec, key, base_value, lower, min_seconds)
+        verdict = "ok"
+        if in_gate:
+            gated_cells += 1
+            log_sum += math.log(ratio)
+            if ratio > max_ratio:
+                failed_cells.append(key)
+                verdict = f"**FAIL** (> {max_ratio:g}x)"
+            if worst is None or ratio > worst[1]:
+                worst = (key, ratio)
+        else:
+            verdict = "info (sub-noise-floor)"
+        lines.append(f"| {key} | {base_value:.4g} | {cand_value:.4g} | "
+                     f"{ratio:.3f}x | {verdict} |")
+    for key in sorted(set(cand) - set(base)):
+        lines.append(f"| {key} | *missing* | {cand[key][0]:.4g} | - | skipped |")
+
+    geomean = math.exp(log_sum / gated_cells) if gated_cells else 1.0
+    ok = not failed_cells and geomean <= max_geomean
+    lines += [
+        "",
+        f"- gated cells: {gated_cells}, geomean ratio **{geomean:.3f}x** "
+        f"(gate {max_geomean:g}x), per-cell gate {max_ratio:g}x",
+    ]
+    if worst:
+        lines.append(f"- worst gated cell: `{worst[0]}` at {worst[1]:.3f}x")
+    if failed_cells:
+        lines.append(f"- failing cells: {', '.join(failed_cells)}")
+    if gated_cells == 0:
+        lines.append("- no gated cells paired -- treating as FAIL "
+                     "(report shape mismatch?)")
+        ok = False
+    lines.append(f"\nPERF GATE: {'PASS' if ok else 'FAIL'}")
+
+    table = "\n".join(lines) + "\n"
+    sys.stdout.write(table)
+    if opts["--markdown"]:
+        with open(opts["--markdown"], "w", encoding="utf-8") as fh:
+            fh.write(table)
+    sys.exit(0 if ok else 1)
+
+
+def inject(argv):
+    factor = 1.2
+    paths = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--factor":
+            if i + 1 >= len(argv):
+                die("--factor needs a value")
+            factor = float(argv[i + 1])
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if len(paths) != 2:
+        die("inject needs <in.json> <out.json>")
+    report = load_report(paths[0])
+    slower = ("seconds", "seconds_per_point", "latency_p50_ms",
+              "latency_p99_ms", "latency_p999_ms", "real_ms", "cpu_ms")
+    for row in report["rows"]:
+        if row.get("kind") == "metrics":
+            continue
+        for key in slower:
+            if key in row:
+                row[key] = float(row[key]) * factor
+        if "throughput_rps" in row:
+            row["throughput_rps"] = float(row["throughput_rps"]) / factor
+    with open(paths[1], "w", encoding="utf-8") as fh:
+        json.dump(report, fh)
+    print(f"injected {factor:g}x slowdown: {paths[0]} -> {paths[1]}")
+
+
+def selftest():
+    """End-to-end check against synthetic reports, no files needed."""
+    import subprocess
+    import tempfile
+    import os
+
+    fig11 = {"meta": {"bench": "fig11_runtime"}, "rows": [
+        {"dataset": "d", "explainer": "Beam", "detector": "LOF", "dim": 2,
+         "seconds": 0.5},
+        {"dataset": "d", "explainer": "Beam", "detector": "LOF", "dim": 3,
+         "seconds": 1.5},
+        {"dataset": "d", "kind": "metrics", "metrics": {}},
+        # Sub-noise-floor cell: must be reported but never gated.
+        {"dataset": "d", "explainer": "RefOut", "detector": "LOF", "dim": 2,
+         "seconds": 0.001},
+    ]}
+    serve = {"meta": {"bench": "serve_load"}, "rows": [
+        {"throughput_rps": 8000.0, "latency_p50_ms": 0.1,
+         "latency_p99_ms": 4.0}]}
+
+    def run(args):
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__)] + args,
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout
+
+    with tempfile.TemporaryDirectory() as tmp:
+        fig_path = os.path.join(tmp, "fig11.json")
+        serve_path = os.path.join(tmp, "serve.json")
+        bad_path = os.path.join(tmp, "bad.json")
+        with open(fig_path, "w", encoding="utf-8") as fh:
+            json.dump(fig11, fh)
+        with open(serve_path, "w", encoding="utf-8") as fh:
+            json.dump(serve, fh)
+
+        code, out = run(["compare", fig_path, fig_path])
+        assert code == 0 and "PERF GATE: PASS" in out, out
+        assert "sub-noise-floor" in out, "noise floor cell not flagged:\n" + out
+
+        code, out = run(["inject", fig_path, bad_path, "--factor", "1.2"])
+        assert code == 0, out
+        code, out = run(["compare", bad_path, fig_path])
+        assert code == 1 and "PERF GATE: FAIL" in out, out
+        # The same 1.2x injection passes under loose cross-machine bounds.
+        code, out = run(["compare", bad_path, fig_path,
+                         "--max-ratio", "3.0", "--max-geomean", "3.0"])
+        assert code == 0 and "PERF GATE: PASS" in out, out
+
+        code, out = run(["inject", serve_path, bad_path])
+        assert code == 0, out
+        code, out = run(["compare", bad_path, serve_path])
+        assert code == 1 and "throughput_rps" in out, out
+        code, out = run(["compare", serve_path, serve_path])
+        assert code == 0, out
+
+        # Shape mismatch (no paired gated cells) must fail, not vacuously pass.
+        empty = os.path.join(tmp, "empty.json")
+        with open(empty, "w", encoding="utf-8") as fh:
+            json.dump({"meta": {"bench": "fig11_runtime"}, "rows": []}, fh)
+        code, out = run(["compare", empty, fig_path])
+        assert code == 1 and "no gated cells" in out, out
+
+    print("bench_compare selftest: ok")
+
+
+def main():
+    if len(sys.argv) < 2:
+        die("usage: bench_compare.py compare|inject|selftest ...")
+    command = sys.argv[1]
+    if command == "compare":
+        compare(sys.argv[2:])
+    elif command == "inject":
+        inject(sys.argv[2:])
+    elif command == "selftest":
+        selftest()
+    else:
+        die(f"unknown command {command!r}")
+
+
+if __name__ == "__main__":
+    main()

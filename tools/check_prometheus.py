@@ -3,7 +3,7 @@
 
 Used by CI to check what GET /metrics serves; stdlib only.
 
-    check_prometheus.py [file] [--require name ...]
+    check_prometheus.py [file] [--allow-untyped] [--require name ...]
 
 Reads the document from `file` (or stdin), validates its syntax line by
 line, and exits non-zero on the first violation. `--require` additionally
@@ -11,6 +11,14 @@ asserts that each named metric has at least one sample (the name is matched
 against the sample name, so `subex_server_uptime_seconds` matches both a
 gauge of that name and a summary's `_sum`/`_count` rows if you name them
 explicitly).
+
+Beyond per-line syntax, two whole-document properties are enforced:
+every sample must belong to a family with a `# TYPE` line (scrapers fall
+back to untyped silently, which is how typo'd registrations slip through
+-- pass --allow-untyped to accept them), and each family's samples must
+form one contiguous block (a family reappearing after another family's
+samples means two code paths registered the same name, and Prometheus
+keeps only one of them).
 
 Checked per the format spec:
   * `# HELP <name> <docstring>` and `# TYPE <name> <type>` comment syntax,
@@ -97,12 +105,15 @@ def main():
         split = argv.index("--require")
         required = argv[split + 1 :]
         argv = argv[:split]
+    allow_untyped = "--allow-untyped" in argv
+    argv = [arg for arg in argv if arg != "--allow-untyped"]
     text = open(argv[0], encoding="utf-8").read() if argv else sys.stdin.read()
 
     types = {}  # metric name -> declared type
     sampled = set()  # metric names that already have samples
     sample_names = set()
     samples = 0
+    current_family = None  # Family of the contiguous block being read.
 
     for line_no, line in enumerate(text.split("\n"), start=1):
         if not line.strip():
@@ -135,6 +146,16 @@ def main():
 
         base, suffix = base_name(name, types)
         declared = types.get(base)
+        if declared is None and not allow_untyped:
+            fail(line_no, line,
+                 f"sample of {base} has no # TYPE line "
+                 "(pass --allow-untyped to accept)")
+        if base != current_family:
+            if base in sampled:
+                fail(line_no, line,
+                     f"family {base} reappears after other families' samples "
+                     "(duplicate registration?)")
+            current_family = base
         if declared == "summary":
             if suffix not in ("", "_sum", "_count"):
                 fail(line_no, line, f"sample {name} is not a legal summary series")

@@ -6,10 +6,17 @@
 //                [--projections P] [--queries poi|all|3,17,99]
 //                [--check-ram] [--stats] [--json]
 //                [--trace-out trace.json]
+//                [--profile-out profile.folded] [--profile-hz N]
 //
 // --trace-out enables the process SpanCollector, wraps the streamed scoring
 // in a `stream.score` span, and writes everything collected as Chrome
 // trace-event JSON loadable in Perfetto or chrome://tracing.
+//
+// --profile-out arms the SIGPROF sampling profiler for the whole run and
+// writes collapsed flamegraph stacks (`stacks... count` lines) on exit —
+// feed them to any flamegraph renderer to see where the chunked scoring
+// path spends its wall clock (chunk decode vs distance kernels vs
+// eviction).
 //
 // Scoring streams column chunks through the process-wide EvictionManager
 // (budget set via --budget-mb), so peak memory stays bounded no matter the
@@ -39,6 +46,8 @@
 #include "mem/eviction_manager.h"
 #include "obs/span_collector.h"
 #include "obs/trace.h"
+#include "prof/perf_counters.h"
+#include "prof/sampling_profiler.h"
 #include "subspace/subspace.h"
 
 namespace {
@@ -55,6 +64,8 @@ struct Flags {
   bool stats = false;
   bool json = false;
   std::string trace_out;
+  std::string profile_out;
+  int profile_hz = 0;  // 0 = profiler default rate.
 };
 
 int Usage() {
@@ -64,7 +75,8 @@ int Usage() {
       "                    [--budget-mb N] [--subspace 0,1,2] [--k K]\n"
       "                    [--projections P] [--queries poi|all|ids,...]\n"
       "                    [--check-ram] [--stats] [--json]\n"
-      "                    [--trace-out trace.json]\n");
+      "                    [--trace-out trace.json]\n"
+      "                    [--profile-out profile.folded] [--profile-hz N]\n");
   return 2;
 }
 
@@ -104,6 +116,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->json = true;
     } else if (arg == "--trace-out" && i + 1 < argc) {
       flags->trace_out = argv[++i];
+    } else if (arg == "--profile-out" && i + 1 < argc) {
+      flags->profile_out = argv[++i];
+    } else if (arg == "--profile-hz" && i + 1 < argc) {
+      flags->profile_hz = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -129,6 +145,17 @@ int main(int argc, char** argv) {
   if (!flags.trace_out.empty()) {
     subex::SpanCollector::Global().Enable(
         /*ring_capacity_per_thread=*/1 << 14);
+  }
+  subex::RegisterProfProcessMetrics();
+  if (!flags.profile_out.empty()) {
+    subex::SamplingProfilerOptions prof_options;
+    if (flags.profile_hz > 0) {
+      prof_options.sample_hz = static_cast<std::uint32_t>(flags.profile_hz);
+    }
+    std::string prof_error;
+    if (!subex::SamplingProfiler::Global().Start(prof_options, &prof_error)) {
+      std::fprintf(stderr, "profiler disabled: %s\n", prof_error.c_str());
+    }
   }
 
   auto open = subex::ChunkedDataset::Open(flags.data);
@@ -270,6 +297,23 @@ int main(int argc, char** argv) {
     }
     std::fwrite(trace_json.data(), 1, trace_json.size(), file);
     std::fclose(file);
+  }
+  if (!flags.profile_out.empty()) {
+    subex::SamplingProfiler& profiler = subex::SamplingProfiler::Global();
+    profiler.Stop();
+    const std::string folded = profiler.ToCollapsedText();
+    std::FILE* file = std::fopen(flags.profile_out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   flags.profile_out.c_str());
+      return 1;
+    }
+    std::fwrite(folded.data(), 1, folded.size(), file);
+    std::fclose(file);
+    std::fprintf(stderr, "wrote %llu profile samples (%llu dropped) to %s\n",
+                 static_cast<unsigned long long>(profiler.samples()),
+                 static_cast<unsigned long long>(profiler.dropped()),
+                 flags.profile_out.c_str());
   }
   return (checked && !identical) ? 1 : 0;
 }
