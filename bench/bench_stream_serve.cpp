@@ -14,7 +14,9 @@
 // Usage: bench_stream_serve [--clients N] [--duration-ms N] [--rate ROWS/S]
 //                           [--threads N] [--seed N] [--json out.json]
 //                           [--metrics-port N] [--drift-threshold D]
-//                           [--drift-p P]
+//                           [--drift-p P] [--fault-spec SPEC]
+//                           [--fault-seed N] [--restarts N]
+//                           [--deadline-ms N] [--wal-dir DIR]
 //
 // --metrics-port exposes GET /metrics (Prometheus exposition) for the run's
 // duration, so a soak harness can scrape the online.* gauges mid-flight.
@@ -23,8 +25,22 @@
 // fires on gradual subspace drift — soak jobs lower it to assert the alert
 // path end to end.
 //
-// Exits nonzero if any request failed with a transport or server error
-// (busy rejections absorbed by client backoff are not errors).
+// Chaos mode (any of --fault-spec/--restarts set) turns the bench into a
+// soak: --fault-spec arms the src/fault registry (see FaultRegistry's spec
+// grammar) for the run's chaos window, --restarts N stops and restarts the
+// server N times on the same port mid-run (clients reconnect), and
+// --deadline-ms stamps every client request with a wire deadline. After
+// the chaos window the faults are disarmed and a clean verification pass
+// must succeed end to end — the run proves the system degrades under
+// injected faults and fully recovers when they clear. Transport errors and
+// deadline rejections are expected and counted in chaos mode; server
+// errors and a failed verification pass still exit nonzero.
+//
+// Without chaos flags, exits nonzero if any request failed with a
+// transport or server error (busy rejections absorbed by client backoff
+// are not errors).
+
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <chrono>
@@ -50,6 +66,13 @@ struct StreamConfig {
   int metrics_port = -1;          // -1 = no metrics endpoint.
   double drift_threshold = -1.0;  // < 0 = DriftMonitorOptions default.
   double drift_p = -1.0;
+  std::string fault_spec;         // Armed for the chaos window.
+  std::uint64_t fault_seed = 1;
+  int restarts = 0;               // Mid-run server stop/start cycles.
+  int deadline_ms = 0;            // Wire deadline on every request.
+  std::string wal_dir;            // Crash-safe ingest for the dataset.
+
+  bool chaos() const { return !fault_spec.empty() || restarts > 0; }
 };
 
 int IntFlag(int argc, char** argv, const char* flag, int fallback) {
@@ -90,10 +113,29 @@ class StreamFeed {
   std::size_t cursor_ = 0;
 };
 
+/// Re-establishes a dead connection, retrying through server downtime
+/// (restarts leave a window with nothing listening). Returns false only
+/// when the run deadline expires first.
+bool ReconnectUntil(ExplainClient& client, std::uint16_t port,
+                    Clock::time_point deadline, std::uint64_t* reconnects) {
+  std::string error;
+  while (Clock::now() < deadline) {
+    if (client.Connect("127.0.0.1", port, &error)) {
+      if (reconnects != nullptr) ++*reconnects;
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
 struct IngestOutcome {
   std::uint64_t rows = 0;
   std::uint64_t batches = 0;
   std::uint64_t errors = 0;
+  std::uint64_t transport_errors = 0;  // Chaos casualties; reconnected.
+  std::uint64_t deadline_expired = 0;  // Server answered kDeadlineExceeded.
+  std::uint64_t reconnects = 0;
   std::uint64_t advances = 0;
   std::uint64_t behind_batches = 0;  // Deadlines missed: server too slow.
   std::uint64_t final_epoch = 0;
@@ -106,7 +148,10 @@ IngestOutcome RunIngest(const StreamConfig& config, std::uint16_t port,
                         StreamFeed& feed, std::size_t num_features,
                         Clock::time_point deadline) {
   IngestOutcome out;
-  ExplainClient client;
+  ExplainClientOptions client_options;
+  client_options.deadline_ms =
+      static_cast<std::uint32_t>(std::max(config.deadline_ms, 0));
+  ExplainClient client(client_options);
   std::string error;
   if (!client.Connect("127.0.0.1", port, &error)) {
     std::printf("ingest: connect failed: %s\n", error.c_str());
@@ -125,12 +170,31 @@ IngestOutcome RunIngest(const StreamConfig& config, std::uint16_t port,
     const ExplainClient::IngestReply reply =
         client.Ingest("stream", kBatchRows, std::move(values));
     ++out.batches;
-    if (!reply.ok()) {
-      ++out.errors;
-    } else {
-      out.rows += reply.result.accepted;
-      out.advances += reply.result.advances;
-      out.final_epoch = reply.result.window_epoch;
+    switch (reply.status) {
+      case ClientStatus::kOk:
+        out.rows += reply.result.accepted;
+        out.advances += reply.result.advances;
+        out.final_epoch = reply.result.window_epoch;
+        break;
+      case ClientStatus::kDeadlineExceeded:
+        ++out.deadline_expired;
+        break;
+      case ClientStatus::kTransportError:
+      case ClientStatus::kCircuitOpen:
+        ++out.transport_errors;
+        if (config.chaos()) {
+          // Expected during a restart window: re-establish and continue.
+          if (!ReconnectUntil(client, port, deadline, &out.reconnects)) {
+            return out;
+          }
+        } else {
+          ++out.errors;
+        }
+        break;
+      default:
+        if (config.chaos() && reply.status == ClientStatus::kBusy) break;
+        ++out.errors;
+        break;
     }
     const auto now = Clock::now();
     if (now < next) {
@@ -148,6 +212,9 @@ struct ExplainOutcome {
   std::uint64_t ok = 0;
   std::uint64_t busy_gave_up = 0;
   std::uint64_t errors = 0;
+  std::uint64_t transport_errors = 0;  // Chaos casualties; reconnected.
+  std::uint64_t deadline_expired = 0;  // Server answered kDeadlineExceeded.
+  std::uint64_t reconnects = 0;
   std::uint64_t explains = 0;
   std::uint64_t stale_replies = 0;   // computed_epoch < current_epoch.
   std::uint64_t lag_sum = 0;         // Sum of epoch lags across explains.
@@ -165,7 +232,10 @@ ExplainOutcome RunExplainClient(const StreamConfig& config,
                                 int num_features, std::size_t safe_points,
                                 Clock::time_point deadline) {
   ExplainOutcome out;
-  ExplainClient client;
+  ExplainClientOptions client_options;
+  client_options.deadline_ms =
+      static_cast<std::uint32_t>(std::max(config.deadline_ms, 0));
+  ExplainClient client(client_options);
   std::string error;
   if (!client.Connect("127.0.0.1", port, &error)) {
     std::printf("client %d: connect failed: %s\n", client_index,
@@ -212,6 +282,21 @@ ExplainOutcome RunExplainClient(const StreamConfig& config,
       case ClientStatus::kBusy:
         ++out.busy_gave_up;
         break;
+      case ClientStatus::kDeadlineExceeded:
+        ++out.deadline_expired;
+        break;
+      case ClientStatus::kTransportError:
+      case ClientStatus::kCircuitOpen:
+        ++out.transport_errors;
+        if (config.chaos()) {
+          if (!ReconnectUntil(client, port, deadline, &out.reconnects)) {
+            out.stats = client.stats();
+            return out;
+          }
+        } else {
+          ++out.errors;
+        }
+        break;
       default:
         ++out.errors;
         break;
@@ -243,13 +328,28 @@ int main(int argc, char** argv) {
   }
   const std::string drift_p = bench::FlagValue(argc, argv, "--drift-p");
   if (!drift_p.empty()) config.drift_p = std::strtod(drift_p.c_str(), nullptr);
+  config.fault_spec = bench::FlagValue(argc, argv, "--fault-spec");
+  config.fault_seed = static_cast<std::uint64_t>(
+      IntFlag(argc, argv, "--fault-seed", static_cast<int>(config.fault_seed)));
+  config.restarts = IntFlag(argc, argv, "--restarts", config.restarts);
+  config.deadline_ms = IntFlag(argc, argv, "--deadline-ms", config.deadline_ms);
+  config.wal_dir = bench::FlagValue(argc, argv, "--wal-dir");
 
   std::printf("== stream serve: online ingest + explain under drift ==\n");
   std::printf(
       "%d explain clients for %d ms, ingest %.0f rows/s (open loop), "
-      "pool threads %d%s\n\n",
+      "pool threads %d%s\n",
       config.clients, config.duration_ms, config.rate, config.pool_threads,
       config.pool_threads == 0 ? " (auto)" : "");
+  if (config.chaos()) {
+    std::printf(
+        "chaos: fault spec \"%s\" (seed %llu), %d restarts, deadline %d ms, "
+        "wal dir \"%s\"\n",
+        config.fault_spec.c_str(),
+        static_cast<unsigned long long>(config.fault_seed), config.restarts,
+        config.deadline_ms, config.wal_dir.c_str());
+  }
+  std::printf("\n");
 
   // A 5-feature drifting subspace-outlier stream; drift every 2 chunks so
   // a few-second run crosses several concepts and the KS monitor has
@@ -276,6 +376,10 @@ int main(int argc, char** argv) {
   if (config.drift_p >= 0.0) {
     dataset_options.drift.max_p_value = config.drift_p;
   }
+  dataset_options.wal_dir = config.wal_dir;
+  // A missing directory silently degrades the WAL — create it so the
+  // chaos soak journals (and recovers across --restarts) for real.
+  if (!config.wal_dir.empty()) ::mkdir(config.wal_dir.c_str(), 0755);
   OnlineDataset dataset(dataset_options,
                         static_cast<std::size_t>(num_features));
   Loda::Options loda_options;
@@ -284,24 +388,49 @@ int main(int argc, char** argv) {
   Lof lof(10);
   dataset.AddReindexDetector("LOF", lof);
   Beam beam;
+  if (!config.wal_dir.empty()) {
+    const OnlineDataset::RecoveryResult recovery = dataset.RecoverFromWal();
+    if (!recovery.ok()) {
+      std::printf("wal recovery failed: %s\n", recovery.error.c_str());
+      return 1;
+    }
+    if (recovery.recovered) {
+      std::printf("wal recovery: resumed at epoch %llu (%llu rows replayed)\n",
+                  static_cast<unsigned long long>(dataset.epoch()),
+                  static_cast<unsigned long long>(recovery.replayed_rows));
+    }
+  }
 
   ThreadPool pool(static_cast<std::size_t>(config.pool_threads));
   ExplainServerOptions server_options;
   if (config.metrics_port >= 0) server_options.metrics_port = config.metrics_port;
-  ExplainServer server(server_options, &pool);
-  server.RegisterOnlineDataset(dataset);
-  server.RegisterExplainer("Beam", beam);
+  // Restarts rebuild the server object; keeping it behind a pointer and
+  // re-binding the same port makes a restart invisible to clients except
+  // for the reconnect.
+  auto start_server = [&](std::string* start_error) {
+    auto server = std::make_unique<ExplainServer>(server_options, &pool);
+    server->RegisterOnlineDataset(dataset);
+    server->RegisterExplainer("Beam", beam);
+    if (!server->Start(start_error)) server.reset();
+    return server;
+  };
   std::string error;
-  if (!server.Start(&error)) {
+  std::unique_ptr<ExplainServer> server = start_server(&error);
+  if (server == nullptr) {
     std::printf("server start failed: %s\n", error.c_str());
     return 1;
+  }
+  // Pin the kernel-chosen ports so every restart lands on the same address.
+  server_options.port = server->port();
+  if (config.metrics_port == 0) {
+    server_options.metrics_port = server->metrics_port();
   }
 
   // Warm the window past min_score_window before the clients start, so
   // every request they send is answerable (no warmup error noise).
   {
     ExplainClient warmup;
-    if (!warmup.Connect("127.0.0.1", server.port(), &error)) {
+    if (!warmup.Connect("127.0.0.1", server->port(), &error)) {
       std::printf("warmup connect failed: %s\n", error.c_str());
       return 1;
     }
@@ -315,13 +444,26 @@ int main(int argc, char** argv) {
   // The window only grows from here, so indices below the warmed size are
   // always valid explain targets.
   const std::size_t safe_points = dataset.stats().window_size;
+  const std::uint16_t port = server->port();
+
+  // Arm the fault registry only for the chaos window: the warmup above and
+  // the verification pass below both run clean.
+  if (!config.fault_spec.empty()) {
+    FaultRegistry::Global().SetSeed(config.fault_seed);
+    std::string spec_error;
+    if (!FaultRegistry::Global().ConfigureFromSpec(config.fault_spec,
+                                                   &spec_error)) {
+      std::printf("bad --fault-spec: %s\n", spec_error.c_str());
+      return 1;
+    }
+  }
 
   const auto wall_start = Clock::now();
   const auto deadline =
       wall_start + std::chrono::milliseconds(config.duration_ms);
   IngestOutcome ingest;
   std::thread ingest_thread([&] {
-    ingest = RunIngest(config, server.port(), feed,
+    ingest = RunIngest(config, port, feed,
                        static_cast<std::size_t>(num_features), deadline);
   });
   std::vector<ExplainOutcome> outcomes(
@@ -331,20 +473,93 @@ int main(int argc, char** argv) {
   for (int c = 0; c < config.clients; ++c) {
     threads.emplace_back([&, c] {
       outcomes[static_cast<std::size_t>(c)] = RunExplainClient(
-          config, server.port(), c, num_features, safe_points, deadline);
+          config, port, c, num_features, safe_points, deadline);
     });
   }
+
+  // The restart controller: kill and re-bind the server at evenly spaced
+  // points of the chaos window while clients hammer it.
+  std::uint64_t restarts_done = 0;
+  std::uint64_t restart_failures = 0;
+  if (config.restarts > 0) {
+    const auto segment =
+        std::chrono::milliseconds(config.duration_ms) / (config.restarts + 1);
+    for (int r = 1; r <= config.restarts; ++r) {
+      std::this_thread::sleep_until(wall_start + r * segment);
+      if (Clock::now() >= deadline) break;
+      server->Stop();
+      server.reset();
+      // Re-bind can transiently fail while the old socket drains; retry
+      // briefly rather than abandoning the soak.
+      for (int attempt = 0; attempt < 50 && server == nullptr; ++attempt) {
+        server = start_server(&error);
+        if (server == nullptr) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+      if (server == nullptr) {
+        std::printf("restart %d failed: %s\n", r, error.c_str());
+        ++restart_failures;
+        break;
+      }
+      ++restarts_done;
+    }
+  }
+
   for (std::thread& t : threads) t.join();
   ingest_thread.join();
   const double wall_seconds =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
 
-  const ServerStatsSnapshot server_stats = server.stats();
+  // End of the chaos window: disarm everything and prove full recovery
+  // with a clean pass — fresh connection, ingest, scores, one explain,
+  // zero tolerance for failure.
+  const FaultStats fault_stats = FaultRegistry::Global().stats();
+  FaultRegistry::Global().DisarmAll();  // Resets counters: snapshot first.
+  bool verification_ok = server != nullptr;
+  std::string verification_error =
+      server == nullptr ? "server not running after restarts" : "";
+  if (server != nullptr) {
+    ExplainClient verifier;
+    if (!verifier.Connect("127.0.0.1", port, &error)) {
+      verification_ok = false;
+      verification_error = "connect: " + error;
+    } else {
+      const ExplainClient::IngestReply ingest_reply =
+          verifier.Ingest("stream", 16, feed.NextRows(16));
+      if (!ingest_reply.ok()) {
+        verification_ok = false;
+        verification_error = "ingest: " + ingest_reply.error;
+      }
+      for (int i = 0; verification_ok && i < 10; ++i) {
+        const ExplainClient::OnlineScoreReply reply = verifier.OnlineScore(
+            "stream", i % 2 == 0 ? "LODA" : "LOF", Subspace({0, 1}));
+        if (!reply.ok()) {
+          verification_ok = false;
+          verification_error = "score: " + reply.error;
+        }
+      }
+      if (verification_ok) {
+        const ExplainClient::OnlineExplainReply reply = verifier.OnlineExplain(
+            "stream", "LODA", "Beam", 0, /*target_dim=*/2, /*max_results=*/5);
+        if (!reply.ok()) {
+          verification_ok = false;
+          verification_error = "explain: " + reply.error;
+        }
+      }
+    }
+  }
+
+  const ServerStatsSnapshot server_stats =
+      server != nullptr ? server->stats() : ServerStatsSnapshot{};
   const OnlineDataset::StatsSnapshot online_stats = dataset.stats();
-  server.Stop();
+  if (server != nullptr) server->Stop();
 
   std::vector<double> score_ms, explain_ms;
   std::uint64_t ok = 0, busy_gave_up = 0, errors = ingest.errors;
+  std::uint64_t transport_errors = ingest.transport_errors;
+  std::uint64_t deadline_expired = ingest.deadline_expired;
+  std::uint64_t reconnects = ingest.reconnects;
   std::uint64_t explains = 0, stale_replies = 0, lag_sum = 0, lag_max = 0;
   ClientStatsSnapshot client_stats;
   for (const ExplainOutcome& o : outcomes) {
@@ -354,6 +569,9 @@ int main(int argc, char** argv) {
     ok += o.ok;
     busy_gave_up += o.busy_gave_up;
     errors += o.errors;
+    transport_errors += o.transport_errors;
+    deadline_expired += o.deadline_expired;
+    reconnects += o.reconnects;
     explains += o.explains;
     stale_replies += o.stale_replies;
     lag_sum += o.lag_sum;
@@ -406,12 +624,26 @@ int main(int argc, char** argv) {
                 std::to_string(online_stats.cache_entries) + " / " +
                     std::to_string(online_stats.epochs_invalidated)});
   table.AddRow({"busy gave up", std::to_string(busy_gave_up)});
-  table.AddRow({"transport/server errors", std::to_string(errors)});
+  table.AddRow({"server errors", std::to_string(errors)});
   table.AddRow({"wall time", FormatSeconds(wall_seconds)});
+  if (config.chaos() || config.deadline_ms > 0) {
+    table.AddRow({"transport errors (chaos)",
+                  std::to_string(transport_errors)});
+    table.AddRow({"reconnects", std::to_string(reconnects)});
+    table.AddRow({"deadline exceeded", std::to_string(deadline_expired)});
+    table.AddRow({"faults injected", std::to_string(fault_stats.injected)});
+    table.AddRow({"restarts done", std::to_string(restarts_done) + " / " +
+                                       std::to_string(config.restarts)});
+    table.AddRow({"verification",
+                  verification_ok ? "ok" : "FAILED: " + verification_error});
+  }
   std::printf("%s\n", table.Render().c_str());
   std::printf("online stats: %s\n", online_stats.ToJson().c_str());
   std::printf("server stats: %s\n", server_stats.ToJson().c_str());
   std::printf("client stats: %s\n", client_stats.ToJson().c_str());
+  if (config.chaos()) {
+    std::printf("fault stats: %s\n", fault_stats.ToJson().c_str());
+  }
 
   if (!config.json_path.empty()) {
     bench::JsonTimingReport report;
@@ -441,12 +673,28 @@ int main(int argc, char** argv) {
             .Add("epoch_lag_max", lag_max)
             .Add("busy_gave_up", busy_gave_up)
             .Add("errors", errors)
+            .Add("transport_errors", transport_errors)
+            .Add("reconnects", reconnects)
+            .Add("deadline_exceeded", deadline_expired)
+            .Add("restarts_requested",
+                 static_cast<std::uint64_t>(config.restarts))
+            .Add("restarts_done", restarts_done)
+            .Add("faults_injected", fault_stats.injected)
+            .Add("verification_ok", verification_ok)
             .Add("wall_seconds", wall_seconds)
+            .AddRaw("fault", fault_stats.ToJson())
             .AddRaw("online", online_stats.ToJson())
             .AddRaw("server", server_stats.ToJson())
             .AddRaw("client", client_stats.ToJson())
             .AddRaw("metrics", MetricsRegistry::Global().ToJson()));
     report.WriteTo(config.json_path);
   }
+  if (!verification_ok) {
+    std::printf("FAILED: post-chaos verification: %s\n",
+                verification_error.c_str());
+    return 1;
+  }
+  if (restart_failures > 0) return 1;
+  if (!config.chaos() && transport_errors > 0) return 1;
   return errors == 0 ? 0 : 1;
 }

@@ -93,6 +93,9 @@ int ServeDaemon(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace subex;
+  // Chaos opt-in: SUBEX_FAULT_SPEC / SUBEX_FAULT_SEED arm injection points
+  // process-wide. With the variables unset this is a no-op.
+  FaultRegistry::Global().ConfigureFromEnv();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serve") == 0) return ServeDaemon(argc, argv);
   }

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "fault/fault.h"
 
 namespace subex {
 
@@ -303,8 +304,12 @@ std::shared_ptr<const ColumnChunk> ColumnarFile::ReadChunk(
   const std::uint64_t map_start = offset & ~static_cast<std::uint64_t>(kPage - 1);
   const std::size_t lead = static_cast<std::size_t>(offset - map_start);
   const std::size_t map_len = lead + bytes;
-  void* base = ::mmap(nullptr, map_len, PROT_READ, MAP_PRIVATE, fd_,
-                      static_cast<off_t>(map_start));
+  FaultAction fault_action;
+  // Injected mmap failure exercises the pread fallback below.
+  void* base = SUBEX_FAULT(FaultPoint::kColumnarMmap, &fault_action)
+                   ? MAP_FAILED
+                   : ::mmap(nullptr, map_len, PROT_READ, MAP_PRIVATE, fd_,
+                            static_cast<off_t>(map_start));
   if (base != MAP_FAILED) {
     const double* data = reinterpret_cast<const double*>(
         static_cast<const char*>(base) + lead);
@@ -316,9 +321,22 @@ std::shared_ptr<const ColumnChunk> ColumnarFile::ReadChunk(
   auto heap = std::make_unique<double[]>(rows);
   std::size_t done = 0;
   while (done < bytes) {
+    std::size_t want = bytes - done;
+    if (SUBEX_FAULT(FaultPoint::kColumnarPread, &fault_action)) {
+      if (fault_action == FaultAction::kEintr) continue;
+      if (fault_action == FaultAction::kShort) {
+        want = 1;  // Exercise partial-read resumption.
+      } else {
+        std::fprintf(stderr, "columnar read failure at %s offset %llu: %s\n",
+                     path_.c_str(), static_cast<unsigned long long>(offset),
+                     "injected fault");
+        return nullptr;
+      }
+    }
     const ssize_t n =
-        ::pread(fd_, reinterpret_cast<char*>(heap.get()) + done, bytes - done,
+        ::pread(fd_, reinterpret_cast<char*>(heap.get()) + done, want,
                 static_cast<off_t>(offset + done));
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
       std::fprintf(stderr, "columnar read failure at %s offset %llu: %s\n",
                    path_.c_str(), static_cast<unsigned long long>(offset),

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/json.h"
+#include "fault/fault.h"
 #include "obs/event_log.h"
 #include "obs/registry.h"
 
@@ -93,6 +94,18 @@ void EvictionManager::Unregister(CacheId id) {
 
 bool EvictionManager::Reserve(CacheId id, std::size_t bytes,
                               bool allow_overcommit) {
+  // Injected denial models a budget that cannot be reclaimed. Overcommit
+  // reservations are exempt: their contract is that they never fail.
+  FaultAction fault_action;
+  if (!allow_overcommit &&
+      SUBEX_FAULT(FaultPoint::kMemReserve, &fault_action)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SUBEX_CHECK(id >= 1 && id <= caches_.size());
+    SUBEX_CHECK(caches_[id - 1]->alive);
+    ++reserve_calls_;
+    ++reserve_failures_;
+    return false;
+  }
   bool over = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -15,6 +15,10 @@ void ClientStatsSnapshot::Merge(const ClientStatsSnapshot& other) {
   reconnects += other.reconnects;
   transport_errors += other.transport_errors;
   backoff_ns += other.backoff_ns;
+  retries_denied += other.retries_denied;
+  circuit_opens += other.circuit_opens;
+  short_circuits += other.short_circuits;
+  deadline_exceeded += other.deadline_exceeded;
 }
 
 std::string ClientStatsSnapshot::ToJson() const {
@@ -24,11 +28,17 @@ std::string ClientStatsSnapshot::ToJson() const {
       .Add("reconnects", reconnects)
       .Add("transport_errors", transport_errors)
       .Add("backoff_seconds", BackoffSeconds())
+      .Add("retries_denied", retries_denied)
+      .Add("circuit_opens", circuit_opens)
+      .Add("short_circuits", short_circuits)
+      .Add("deadline_exceeded", deadline_exceeded)
       .Build();
 }
 
 ExplainClient::ExplainClient(const ExplainClientOptions& options)
-    : options_(options), decoder_(options.max_frame_bytes) {}
+    : options_(options),
+      decoder_(options.max_frame_bytes),
+      retry_tokens_(options.retry_budget_initial) {}
 
 bool ExplainClient::Connect(const std::string& host, std::uint16_t port,
                             std::string* error) {
@@ -45,7 +55,30 @@ ClientStatsSnapshot ExplainClient::stats() const {
   snap.reconnects = connects_ > 0 ? connects_ - 1 : 0;
   snap.transport_errors = transport_errors_;
   snap.backoff_ns = backoff_ns_;
+  snap.retries_denied = retries_denied_;
+  snap.circuit_opens = circuit_opens_;
+  snap.short_circuits = short_circuits_;
+  snap.deadline_exceeded = deadline_exceeded_;
   return snap;
+}
+
+void ExplainClient::NoteTransportSuccess() {
+  consecutive_failures_ = 0;
+  breaker_open_ = false;
+  retry_tokens_ = std::min(options_.retry_budget_initial,
+                           retry_tokens_ + options_.retry_budget_per_success);
+}
+
+void ExplainClient::NoteTransportFailure() {
+  ++consecutive_failures_;
+  if (options_.breaker_failure_threshold > 0 &&
+      consecutive_failures_ >= options_.breaker_failure_threshold) {
+    // Closed -> open counts once; a failed half-open probe just restarts
+    // the cooldown window.
+    if (!breaker_open_) ++circuit_opens_;
+    breaker_open_ = true;
+    breaker_opened_at_ = std::chrono::steady_clock::now();
+  }
 }
 
 void ExplainClient::Disconnect() {
@@ -157,9 +190,27 @@ ClientStatus ExplainClient::RoundTrip(const std::vector<std::uint8_t>& request,
                                       std::vector<std::uint8_t>* body,
                                       std::string* error) {
   ++requests_;
+  // While the breaker is open, fail fast without touching the socket; the
+  // first call past the cooldown proceeds as the half-open probe.
+  if (breaker_open_ &&
+      std::chrono::steady_clock::now() - breaker_opened_at_ <
+          std::chrono::milliseconds(options_.breaker_cooldown_ms)) {
+    ++short_circuits_;
+    *error = "circuit breaker open";
+    return ClientStatus::kCircuitOpen;
+  }
   int backoff_ms = options_.busy_backoff_initial_ms;
   for (int attempt = 0; attempt <= options_.max_busy_retries; ++attempt) {
     if (attempt > 0) {
+      // A retry is only taken while the budget holds tokens — under
+      // sustained overload the bucket drains and kBusy surfaces to the
+      // caller instead of amplifying the congestion.
+      if (retry_tokens_ < 1.0) {
+        ++retries_denied_;
+        *error = "server busy and retry budget exhausted";
+        return ClientStatus::kBusy;
+      }
+      retry_tokens_ -= 1.0;
       const auto sleep_start = std::chrono::steady_clock::now();
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
       backoff_ns_ += static_cast<std::uint64_t>(
@@ -171,12 +222,22 @@ ClientStatus ExplainClient::RoundTrip(const std::vector<std::uint8_t>& request,
     MessageHeader header;
     if (!SendAndReceive(request, request_id, &header, body, error)) {
       ++transport_errors_;
+      NoteTransportFailure();
       return ClientStatus::kTransportError;
     }
     if (header.type == MessageType::kBusy) {
       ++busy_replies_seen_;
       continue;  // Backpressure: back off and retry.
     }
+    if (header.type == MessageType::kDeadlineExceeded) {
+      // The transport is healthy — the server just refused stale work.
+      ++deadline_exceeded_;
+      NoteTransportSuccess();
+      *type = header.type;
+      *error = "deadline exceeded";
+      return ClientStatus::kDeadlineExceeded;
+    }
+    NoteTransportSuccess();
     *type = header.type;
     return ClientStatus::kOk;  // Some definitive response arrived.
   }
@@ -196,7 +257,9 @@ ExplainClient::ScoreReply ExplainClient::Score(const std::string& detector,
   MessageType type = MessageType::kError;
   std::vector<std::uint8_t> body;
   const auto start = std::chrono::steady_clock::now();
-  reply.status = RoundTrip(EncodeScoreRequest(id, request, trace_id), id, &type,
+  reply.status = RoundTrip(EncodeScoreRequest(id, request, trace_id,
+                                              options_.deadline_ms),
+                           id, &type,
                            &body, &reply.error);
   RecordClientSpan("client.score", trace_id, start);
   if (reply.status != ClientStatus::kOk) return reply;
@@ -235,7 +298,9 @@ ExplainClient::ExplainReply ExplainClient::Explain(const std::string& detector,
   MessageType type = MessageType::kError;
   std::vector<std::uint8_t> body;
   const auto start = std::chrono::steady_clock::now();
-  reply.status = RoundTrip(EncodeExplainRequest(id, request, trace_id), id,
+  reply.status = RoundTrip(EncodeExplainRequest(id, request, trace_id,
+                                                options_.deadline_ms),
+                           id,
                            &type, &body, &reply.error);
   RecordClientSpan("client.explain", trace_id, start);
   if (reply.status != ClientStatus::kOk) return reply;
@@ -265,7 +330,8 @@ ExplainClient::StatsReply ExplainClient::Stats() {
   MessageType type = MessageType::kError;
   std::vector<std::uint8_t> body;
   const auto start = std::chrono::steady_clock::now();
-  reply.status = RoundTrip(EncodeStatsRequest(id, trace_id), id, &type, &body,
+  reply.status = RoundTrip(EncodeStatsRequest(id, trace_id, options_.deadline_ms),
+                           id, &type, &body,
                            &reply.error);
   RecordClientSpan("client.stats", trace_id, start);
   if (reply.status != ClientStatus::kOk) return reply;
@@ -298,7 +364,9 @@ ExplainClient::IngestReply ExplainClient::Ingest(const std::string& dataset,
   MessageType type = MessageType::kError;
   std::vector<std::uint8_t> body;
   const auto start = std::chrono::steady_clock::now();
-  reply.status = RoundTrip(EncodeIngestRequest(id, request, trace_id), id,
+  reply.status = RoundTrip(EncodeIngestRequest(id, request, trace_id,
+                                               options_.deadline_ms),
+                           id,
                            &type, &body, &reply.error);
   RecordClientSpan("client.ingest", trace_id, start);
   if (reply.status != ClientStatus::kOk) return reply;
@@ -331,7 +399,9 @@ ExplainClient::OnlineScoreReply ExplainClient::OnlineScore(
   MessageType type = MessageType::kError;
   std::vector<std::uint8_t> body;
   const auto start = std::chrono::steady_clock::now();
-  reply.status = RoundTrip(EncodeOnlineScoreRequest(id, request, trace_id), id,
+  reply.status = RoundTrip(EncodeOnlineScoreRequest(id, request, trace_id,
+                                                    options_.deadline_ms),
+                           id,
                            &type, &body, &reply.error);
   RecordClientSpan("client.online_score", trace_id, start);
   if (reply.status != ClientStatus::kOk) return reply;
@@ -372,7 +442,8 @@ ExplainClient::OnlineExplainReply ExplainClient::OnlineExplain(
   MessageType type = MessageType::kError;
   std::vector<std::uint8_t> body;
   const auto start = std::chrono::steady_clock::now();
-  reply.status = RoundTrip(EncodeOnlineExplainRequest(id, request, trace_id),
+  reply.status = RoundTrip(EncodeOnlineExplainRequest(id, request, trace_id,
+                                                      options_.deadline_ms),
                            id, &type, &body, &reply.error);
   RecordClientSpan("client.online_explain", trace_id, start);
   if (reply.status != ClientStatus::kOk) return reply;

@@ -20,6 +20,8 @@ enum class ClientStatus {
   kBusy,            ///< Server shed the request even after every retry.
   kServerError,     ///< Server replied `kError`; see `error`.
   kTransportError,  ///< Socket/framing failure; the connection is dead.
+  kDeadlineExceeded,  ///< Server dropped the request past its deadline.
+  kCircuitOpen,     ///< Failed fast: the circuit breaker is open.
 };
 
 /// Point-in-time view of one client's transport counters — makes the
@@ -32,6 +34,15 @@ struct ClientStatsSnapshot {
   std::uint64_t reconnects = 0;     ///< Successful `Connect`s after the first.
   std::uint64_t transport_errors = 0;  ///< Socket/framing failures.
   std::uint64_t backoff_ns = 0;     ///< Cumulative busy-backoff sleep time.
+  /// Busy retries NOT taken because the retry budget was exhausted (the
+  /// call surfaced `kBusy` instead of hammering the server).
+  std::uint64_t retries_denied = 0;
+  /// Closed -> open transitions of the circuit breaker.
+  std::uint64_t circuit_opens = 0;
+  /// Round trips failed fast while the breaker was open.
+  std::uint64_t short_circuits = 0;
+  /// `kDeadlineExceeded` replies received.
+  std::uint64_t deadline_exceeded = 0;
 
   double BackoffSeconds() const {
     return static_cast<double>(backoff_ns) * 1e-9;
@@ -53,6 +64,25 @@ struct ExplainClientOptions {
   int busy_backoff_initial_ms = 1;
   int busy_backoff_max_ms = 200;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Relative deadline stamped on every request (milliseconds of budget;
+  /// the server drops work still queued or computing past it and replies
+  /// `kDeadlineExceeded`). 0 disables — frames keep the old format.
+  std::uint32_t deadline_ms = 0;
+  /// Retry budget (token bucket): the bucket starts at
+  /// `retry_budget_initial` tokens, each busy retry spends one, and every
+  /// successful round trip refills `retry_budget_per_success` (capped at
+  /// the initial depth). An empty bucket turns `kBusy` around immediately
+  /// instead of retrying — bounding aggregate retry volume under overload,
+  /// where the old unbounded busy-retry loop amplified congestion.
+  double retry_budget_initial = 32.0;
+  double retry_budget_per_success = 0.5;
+  /// Circuit breaker: after this many consecutive transport failures the
+  /// breaker opens and calls fail fast (`kCircuitOpen`) for
+  /// `breaker_cooldown_ms`; the first call after the cooldown is the
+  /// half-open probe — success closes the breaker, failure re-opens it.
+  /// 0 disables the breaker.
+  int breaker_failure_threshold = 5;
+  int breaker_cooldown_ms = 1000;
   /// Stamp every request with a fresh trace id (propagated in the wire
   /// header and continued server-side) and record a "client.request" span
   /// to this process's `SpanCollector` when it is enabled. Off the wire
@@ -203,6 +233,11 @@ class ExplainClient {
   void RecordClientSpan(const char* name, std::uint64_t trace_id,
                         std::chrono::steady_clock::time_point start);
 
+  /// Transport success/failure bookkeeping shared by the retry budget and
+  /// the circuit breaker.
+  void NoteTransportSuccess();
+  void NoteTransportFailure();
+
   ExplainClientOptions options_;
   Socket socket_;
   FrameDecoder decoder_;
@@ -214,6 +249,15 @@ class ExplainClient {
   std::uint64_t connects_ = 0;
   std::uint64_t transport_errors_ = 0;
   std::uint64_t backoff_ns_ = 0;
+  std::uint64_t retries_denied_ = 0;
+  std::uint64_t circuit_opens_ = 0;
+  std::uint64_t short_circuits_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
+  // Retry-budget / breaker state (see the options for semantics).
+  double retry_tokens_ = 0.0;
+  int consecutive_failures_ = 0;
+  bool breaker_open_ = false;
+  std::chrono::steady_clock::time_point breaker_opened_at_{};
 };
 
 }  // namespace subex

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "fault/fault.h"
 #include "mem/eviction_manager.h"
 #include "obs/build_info.h"
 #include "obs/prometheus.h"
@@ -61,6 +62,8 @@ std::string ServerStatsSnapshot::ToJson() const {
       .Add("busy_rejections", busy_rejections)
       .Add("protocol_errors", protocol_errors)
       .Add("timeouts", timeouts)
+      .Add("deadline_expired_queue", deadline_expired_queue)
+      .Add("deadline_expired_compute", deadline_expired_compute)
       .Build();
 }
 
@@ -138,6 +141,10 @@ ExplainServer::ExplainServer(const ExplainServerOptions& options,
       bytes_received_(
           &MetricsRegistry::Global().GetCounter("net.bytes_received")),
       bytes_sent_(&MetricsRegistry::Global().GetCounter("net.bytes_sent")),
+      deadline_queue_counter_(&MetricsRegistry::Global().GetCounter(
+          "serve.deadline_expired_queue")),
+      deadline_compute_counter_(&MetricsRegistry::Global().GetCounter(
+          "serve.deadline_expired_compute")),
       connections_gauge_(
           &MetricsRegistry::Global().GetGauge("serve.connections")),
       uptime_gauge_(
@@ -228,6 +235,10 @@ ServerStatsSnapshot ExplainServer::stats() const {
   snap.busy_rejections = busy_rejections_.load(std::memory_order_relaxed);
   snap.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   snap.timeouts = timeouts_.load(std::memory_order_relaxed);
+  snap.deadline_expired_queue =
+      deadline_expired_queue_.load(std::memory_order_relaxed);
+  snap.deadline_expired_compute =
+      deadline_expired_compute_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -482,6 +493,13 @@ std::string ExplainServer::BuildMetricsHttpResponse(
 
 void ExplainServer::AcceptNewConnections() {
   while (true) {
+    FaultAction fault_action;
+    if (SUBEX_FAULT(FaultPoint::kSocketAccept, &fault_action)) {
+      // Behave like a transient accept failure: stop this pass. The
+      // listener is level-triggered, so pending connections re-signal on
+      // the next poll and the loop recovers once the fault clears.
+      break;
+    }
     const int fd = ::accept(listener_.fd(), nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
@@ -501,7 +519,17 @@ void ExplainServer::AcceptNewConnections() {
 bool ExplainServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
   std::uint8_t buf[16384];
   while (true) {
-    const ssize_t n = ::recv(conn->socket.fd(), buf, sizeof(buf), 0);
+    std::size_t want = sizeof(buf);
+    FaultAction fault_action;
+    if (SUBEX_FAULT(FaultPoint::kSocketRead, &fault_action)) {
+      if (fault_action == FaultAction::kEintr) continue;
+      if (fault_action == FaultAction::kShort) {
+        want = 1;  // Torn read — the frame decoder must reassemble.
+      } else {
+        return false;  // Connection torn down like a real recv failure.
+      }
+    }
+    const ssize_t n = ::recv(conn->socket.fd(), buf, want, 0);
     if (n > 0) {
       conn->last_progress = Clock::now();
       bytes_received_->Increment(static_cast<std::uint64_t>(n));
@@ -541,9 +569,19 @@ bool ExplainServer::HandleWritable(const std::shared_ptr<Connection>& conn) {
   while (!conn->write_queue.empty()) {
     const Connection::WriteEntry& entry = conn->write_queue.front();
     const std::vector<std::uint8_t>& front = entry.frame;
-    const ssize_t n =
-        ::send(conn->socket.fd(), front.data() + conn->write_offset,
-               front.size() - conn->write_offset, MSG_NOSIGNAL);
+    std::size_t want = front.size() - conn->write_offset;
+    FaultAction fault_action;
+    if (SUBEX_FAULT(FaultPoint::kSocketWrite, &fault_action)) {
+      if (fault_action == FaultAction::kEintr) continue;
+      if (fault_action == FaultAction::kShort) {
+        want = 1;  // Partial write — resumption via write_offset.
+      } else {
+        return false;  // Connection torn down like a real send failure.
+      }
+    }
+    const ssize_t n = ::send(conn->socket.fd(),
+                             front.data() + conn->write_offset, want,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -635,6 +673,30 @@ void ExplainServer::HandleRequest(const std::shared_ptr<Connection>& conn,
   const std::uint64_t queue_wait_ns = NsSince(admitted);
   queue_wait_histogram_->Record(queue_wait_ns);
 
+  // The client's deadline is a relative budget stamped at admission.
+  // Expired work is dropped here, at queue-dequeue, before any compute —
+  // the client has already given up, so the cheapest honest answer is an
+  // immediate kDeadlineExceeded.
+  const bool has_deadline = header.has_deadline && header.deadline_ms > 0;
+  const Clock::time_point deadline =
+      admitted + std::chrono::milliseconds(header.deadline_ms);
+  if (has_deadline && Clock::now() >= deadline) {
+    deadline_expired_queue_.fetch_add(1, std::memory_order_relaxed);
+    deadline_queue_counter_->Increment();
+    SUBEX_EVENT(EventSeverity::kWarn, "serve.deadline",
+                JsonObject()
+                    .Add("request_id", header.request_id)
+                    .Add("stage", "queue")
+                    .Add("deadline_ms",
+                         static_cast<std::uint64_t>(header.deadline_ms))
+                    .Build());
+    EnqueueResponse(conn, EncodeDeadlineExceeded(header.request_id));
+    conn->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    Wake();
+    return;
+  }
+
 #ifndef SUBEX_OBS_DISABLED
   // Continue the client's distributed trace (or root a fresh one): the
   // request's spans nest under one root that starts at admission. Traces
@@ -672,6 +734,14 @@ void ExplainServer::HandleRequest(const std::shared_ptr<Connection>& conn,
   } catch (const std::exception& e) {
     response = EncodeError(header.request_id,
                            std::string("handler exception: ") + e.what());
+  }
+  // Second deadline gate, between the compute and write-back stages: a
+  // result the client has stopped waiting for is discarded rather than
+  // flushed down the pipe.
+  if (has_deadline && Clock::now() >= deadline) {
+    deadline_expired_compute_.fetch_add(1, std::memory_order_relaxed);
+    deadline_compute_counter_->Increment();
+    response = EncodeDeadlineExceeded(header.request_id);
   }
   const std::uint64_t end_to_end_ns = NsSince(admitted);
   request_histogram_->Record(end_to_end_ns);
@@ -886,6 +956,7 @@ std::vector<std::uint8_t> ExplainServer::HandleStats(std::uint64_t request_id) {
                     .AddRaw("mem", EvictionManager::Global().snapshot().ToJson())
                     .AddRaw("events", events_json)
                     .AddRaw("slow_requests", slow_json)
+                    .AddRaw("fault", FaultRegistry::Global().stats().ToJson())
                     .Build();
   return EncodeStatsResult(request_id, result);
 }

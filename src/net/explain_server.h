@@ -36,6 +36,12 @@ struct ServerStatsSnapshot {
   std::uint64_t protocol_errors = 0;
   /// Connections closed by the idle/write timeout.
   std::uint64_t timeouts = 0;
+  /// Requests dropped at queue-dequeue because their deadline had already
+  /// expired (answered `kDeadlineExceeded` without computing).
+  std::uint64_t deadline_expired_queue = 0;
+  /// Requests whose deadline expired during computation (the computed
+  /// result is discarded and replaced with `kDeadlineExceeded`).
+  std::uint64_t deadline_expired_compute = 0;
 
   std::string ToJson() const;
 };
@@ -235,6 +241,8 @@ class ExplainServer {
   Histogram* explain_search_histogram_;   ///< explain.search (handler side).
   Counter* bytes_received_;          ///< net.bytes_received.
   Counter* bytes_sent_;              ///< net.bytes_sent.
+  Counter* deadline_queue_counter_;    ///< serve.deadline_expired_queue.
+  Counter* deadline_compute_counter_;  ///< serve.deadline_expired_compute.
   Gauge* connections_gauge_;         ///< serve.connections (open right now).
   Gauge* uptime_gauge_;              ///< server.uptime_seconds.
 
@@ -252,6 +260,8 @@ class ExplainServer {
   std::atomic<std::uint64_t> busy_rejections_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> deadline_expired_queue_{0};
+  std::atomic<std::uint64_t> deadline_expired_compute_{0};
 
   /// Live connections, keyed by fd. Owned by the loop thread; handlers
   /// hold their own shared_ptr and never touch this map.

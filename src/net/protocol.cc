@@ -4,9 +4,13 @@ namespace subex {
 namespace {
 
 WireWriter BeginMessage(MessageType type, std::uint64_t request_id,
-                        std::uint64_t trace_id = 0) {
+                        std::uint64_t trace_id = 0,
+                        std::uint32_t deadline_ms = 0) {
   WireWriter writer;
-  writer.PutU8(kProtocolVersion);
+  // Deadline-less frames keep the plain version byte, so pre-deadline
+  // payloads stay byte-identical (golden-byte tested).
+  writer.PutU8(deadline_ms != 0 ? (kProtocolVersion | kDeadlineFlag)
+                                : kProtocolVersion);
   if (trace_id != 0) {
     writer.PutU8(static_cast<std::uint8_t>(type) | kTraceIdFlag);
     writer.PutU64(request_id);
@@ -15,6 +19,7 @@ WireWriter BeginMessage(MessageType type, std::uint64_t request_id,
     writer.PutU8(static_cast<std::uint8_t>(type));
     writer.PutU64(request_id);
   }
+  if (deadline_ms != 0) writer.PutU32(deadline_ms);
   return writer;
 }
 
@@ -38,14 +43,21 @@ bool DecodeSubspace(WireReader& reader, Subspace* out) {
   features.reserve(count);
   for (std::uint16_t i = 0; i < count; ++i) features.push_back(reader.GetI32());
   if (!reader.ok()) return false;
+  // The wire is a trust boundary: a negative id would trip the Subspace
+  // invariant check (fatal), so reject it here as a decode failure.
+  for (const FeatureId f : features) {
+    if (f < 0) return false;
+  }
   *out = Subspace(std::move(features));
   return true;
 }
 
 std::vector<std::uint8_t> EncodeScoreRequest(std::uint64_t request_id,
                                              const ScoreRequest& request,
-                                             std::uint64_t trace_id) {
-  WireWriter writer = BeginMessage(MessageType::kScore, request_id, trace_id);
+                                             std::uint64_t trace_id,
+                                             std::uint32_t deadline_ms) {
+  WireWriter writer =
+      BeginMessage(MessageType::kScore, request_id, trace_id, deadline_ms);
   writer.PutString(request.detector);
   EncodeSubspace(writer, request.subspace);
   return writer.Take();
@@ -53,8 +65,10 @@ std::vector<std::uint8_t> EncodeScoreRequest(std::uint64_t request_id,
 
 std::vector<std::uint8_t> EncodeExplainRequest(std::uint64_t request_id,
                                                const ExplainRequest& request,
-                                               std::uint64_t trace_id) {
-  WireWriter writer = BeginMessage(MessageType::kExplain, request_id, trace_id);
+                                               std::uint64_t trace_id,
+                                               std::uint32_t deadline_ms) {
+  WireWriter writer = BeginMessage(MessageType::kExplain, request_id, trace_id,
+                                   deadline_ms);
   writer.PutString(request.detector);
   writer.PutString(request.explainer);
   writer.PutI32(request.point);
@@ -64,23 +78,28 @@ std::vector<std::uint8_t> EncodeExplainRequest(std::uint64_t request_id,
 }
 
 std::vector<std::uint8_t> EncodeStatsRequest(std::uint64_t request_id,
-                                             std::uint64_t trace_id) {
-  return BeginMessage(MessageType::kStats, request_id, trace_id).Take();
+                                             std::uint64_t trace_id,
+                                             std::uint32_t deadline_ms) {
+  return BeginMessage(MessageType::kStats, request_id, trace_id, deadline_ms)
+      .Take();
 }
 
 std::vector<std::uint8_t> EncodeTraceDumpRequest(std::uint64_t request_id,
                                                  const TraceDumpRequest& request,
-                                                 std::uint64_t trace_id) {
+                                                 std::uint64_t trace_id,
+                                                 std::uint32_t deadline_ms) {
   WireWriter writer =
-      BeginMessage(MessageType::kTraceDump, request_id, trace_id);
+      BeginMessage(MessageType::kTraceDump, request_id, trace_id, deadline_ms);
   writer.PutU8(request.clear ? 1 : 0);
   return writer.Take();
 }
 
 std::vector<std::uint8_t> EncodeIngestRequest(std::uint64_t request_id,
                                               const IngestRequest& request,
-                                              std::uint64_t trace_id) {
-  WireWriter writer = BeginMessage(MessageType::kIngest, request_id, trace_id);
+                                              std::uint64_t trace_id,
+                                              std::uint32_t deadline_ms) {
+  WireWriter writer =
+      BeginMessage(MessageType::kIngest, request_id, trace_id, deadline_ms);
   writer.PutString(request.dataset);
   writer.PutU32(request.num_rows);
   writer.PutDoubles(request.values);
@@ -89,9 +108,9 @@ std::vector<std::uint8_t> EncodeIngestRequest(std::uint64_t request_id,
 
 std::vector<std::uint8_t> EncodeOnlineScoreRequest(
     std::uint64_t request_id, const OnlineScoreRequest& request,
-    std::uint64_t trace_id) {
-  WireWriter writer =
-      BeginMessage(MessageType::kOnlineScore, request_id, trace_id);
+    std::uint64_t trace_id, std::uint32_t deadline_ms) {
+  WireWriter writer = BeginMessage(MessageType::kOnlineScore, request_id,
+                                   trace_id, deadline_ms);
   writer.PutString(request.dataset);
   writer.PutString(request.detector);
   EncodeSubspace(writer, request.subspace);
@@ -100,9 +119,9 @@ std::vector<std::uint8_t> EncodeOnlineScoreRequest(
 
 std::vector<std::uint8_t> EncodeOnlineExplainRequest(
     std::uint64_t request_id, const OnlineExplainRequest& request,
-    std::uint64_t trace_id) {
-  WireWriter writer =
-      BeginMessage(MessageType::kOnlineExplain, request_id, trace_id);
+    std::uint64_t trace_id, std::uint32_t deadline_ms) {
+  WireWriter writer = BeginMessage(MessageType::kOnlineExplain, request_id,
+                                   trace_id, deadline_ms);
   writer.PutString(request.dataset);
   writer.PutString(request.detector);
   writer.PutString(request.explainer);
@@ -147,8 +166,10 @@ std::vector<std::uint8_t> EncodeTraceDumpResult(std::uint64_t request_id,
 
 std::vector<std::uint8_t> EncodeProfDumpRequest(std::uint64_t request_id,
                                                 const ProfDumpRequest& request,
-                                                std::uint64_t trace_id) {
-  WireWriter writer = BeginMessage(MessageType::kProfDump, request_id, trace_id);
+                                                std::uint64_t trace_id,
+                                                std::uint32_t deadline_ms) {
+  WireWriter writer = BeginMessage(MessageType::kProfDump, request_id, trace_id,
+                                   deadline_ms);
   writer.PutU8(static_cast<std::uint8_t>(request.action));
   writer.PutU32(request.sample_hz);
   writer.PutU8(request.clear ? 1 : 0);
@@ -208,8 +229,14 @@ std::vector<std::uint8_t> EncodeError(std::uint64_t request_id,
   return writer.Take();
 }
 
+std::vector<std::uint8_t> EncodeDeadlineExceeded(std::uint64_t request_id) {
+  return BeginMessage(MessageType::kDeadlineExceeded, request_id).Take();
+}
+
 bool DecodeHeader(WireReader& reader, MessageHeader* out) {
-  out->version = reader.GetU8();
+  const std::uint8_t raw_version = reader.GetU8();
+  out->version = raw_version & static_cast<std::uint8_t>(~kDeadlineFlag);
+  out->has_deadline = (raw_version & kDeadlineFlag) != 0;
   const std::uint8_t raw_type = reader.GetU8();
   out->type = static_cast<MessageType>(raw_type & ~kTraceIdFlag);
   out->request_id = reader.GetU64();
@@ -217,6 +244,7 @@ bool DecodeHeader(WireReader& reader, MessageHeader* out) {
   // A flagged header whose trace id bytes are missing trips the reader's
   // sticky error and the frame is rejected like any other truncation.
   out->trace_id = out->has_trace_id ? reader.GetU64() : 0;
+  out->deadline_ms = out->has_deadline ? reader.GetU32() : 0;
   return reader.ok();
 }
 

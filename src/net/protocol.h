@@ -40,6 +40,7 @@ enum class MessageType : std::uint8_t {
   kProfDumpResult = 71,
   kBusy = 100,   ///< Request queue full — retry with backoff.
   kError = 101,  ///< Malformed or unserviceable request; body is a message.
+  kDeadlineExceeded = 102,  ///< The request's deadline expired server-side.
 };
 
 /// True for the client-issued message types.
@@ -50,27 +51,39 @@ bool IsRequestType(MessageType type);
 /// see it set, so untraced frames are byte-identical across versions.
 inline constexpr std::uint8_t kTraceIdFlag = 0x80;
 
+/// High bit of the wire *version* byte: set when an optional u32 deadline
+/// (milliseconds of remaining budget, relative so clock skew is moot)
+/// follows the header after the optional trace id. It cannot live on the
+/// type byte — bit 6 is already significant there (`kScoreResult` is 64) —
+/// and the version byte's value space (`kProtocolVersion` = 1) is free.
+/// Deadline-less frames stay byte-identical to the old format.
+inline constexpr std::uint8_t kDeadlineFlag = 0x80;
+
 /// Fixed prelude of every payload: version, type, and the client-chosen
 /// request id the server echoes back (responses to pipelined requests may
 /// arrive in any order; the id pairs them up). A request may additionally
-/// carry the client's trace id (see `kTraceIdFlag`), continued server-side
-/// so one distributed trace spans both processes.
+/// carry the client's trace id (see `kTraceIdFlag`) and/or a relative
+/// deadline in milliseconds (see `kDeadlineFlag`); expired work is dropped
+/// server-side with a `kDeadlineExceeded` reply.
 struct MessageHeader {
   std::uint8_t version = kProtocolVersion;
   MessageType type = MessageType::kError;
   std::uint64_t request_id = 0;
   bool has_trace_id = false;
   std::uint64_t trace_id = 0;
+  bool has_deadline = false;
+  std::uint32_t deadline_ms = 0;
 };
 
-/// Serialized size of the fixed (trace-less) header prelude.
+/// Serialized size of the fixed (trace-less, deadline-less) header prelude.
 inline constexpr std::size_t kMessageHeaderBytes = 1 + 1 + 8;
 
 /// Serialized size of `header`: the fixed prelude plus the optional trace
-/// id (keyed on `has_trace_id`, so a flagged header with trace id 0 still
-/// counts its 8 bytes).
+/// id and deadline (keyed on the `has_*` flags, so a flagged header with
+/// trace id 0 still counts its 8 bytes).
 inline constexpr std::size_t EncodedHeaderBytes(const MessageHeader& header) {
-  return kMessageHeaderBytes + (header.has_trace_id ? 8 : 0);
+  return kMessageHeaderBytes + (header.has_trace_id ? 8 : 0) +
+         (header.has_deadline ? 4 : 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -204,30 +217,37 @@ void EncodeSubspace(WireWriter& writer, const Subspace& subspace);
 bool DecodeSubspace(WireReader& reader, Subspace* out);
 
 // Requests take an optional trace id; 0 (the id no generator produces)
-// means untraced and keeps the frame in the old fixed-header format.
+// means untraced and keeps the frame in the old fixed-header format. They
+// likewise take an optional relative deadline in milliseconds; 0 means no
+// deadline and also keeps the old format.
 std::vector<std::uint8_t> EncodeScoreRequest(std::uint64_t request_id,
                                              const ScoreRequest& request,
-                                             std::uint64_t trace_id = 0);
+                                             std::uint64_t trace_id = 0,
+                                             std::uint32_t deadline_ms = 0);
 std::vector<std::uint8_t> EncodeExplainRequest(std::uint64_t request_id,
                                                const ExplainRequest& request,
-                                               std::uint64_t trace_id = 0);
+                                               std::uint64_t trace_id = 0,
+                                               std::uint32_t deadline_ms = 0);
 std::vector<std::uint8_t> EncodeStatsRequest(std::uint64_t request_id,
-                                             std::uint64_t trace_id = 0);
+                                             std::uint64_t trace_id = 0,
+                                             std::uint32_t deadline_ms = 0);
 std::vector<std::uint8_t> EncodeTraceDumpRequest(
     std::uint64_t request_id, const TraceDumpRequest& request,
-    std::uint64_t trace_id = 0);
+    std::uint64_t trace_id = 0, std::uint32_t deadline_ms = 0);
 std::vector<std::uint8_t> EncodeIngestRequest(std::uint64_t request_id,
                                               const IngestRequest& request,
-                                              std::uint64_t trace_id = 0);
+                                              std::uint64_t trace_id = 0,
+                                              std::uint32_t deadline_ms = 0);
 std::vector<std::uint8_t> EncodeOnlineScoreRequest(
     std::uint64_t request_id, const OnlineScoreRequest& request,
-    std::uint64_t trace_id = 0);
+    std::uint64_t trace_id = 0, std::uint32_t deadline_ms = 0);
 std::vector<std::uint8_t> EncodeOnlineExplainRequest(
     std::uint64_t request_id, const OnlineExplainRequest& request,
-    std::uint64_t trace_id = 0);
+    std::uint64_t trace_id = 0, std::uint32_t deadline_ms = 0);
 std::vector<std::uint8_t> EncodeProfDumpRequest(std::uint64_t request_id,
                                                 const ProfDumpRequest& request,
-                                                std::uint64_t trace_id = 0);
+                                                std::uint64_t trace_id = 0,
+                                                std::uint32_t deadline_ms = 0);
 std::vector<std::uint8_t> EncodeScoreResult(std::uint64_t request_id,
                                             const ScoreResult& result);
 std::vector<std::uint8_t> EncodeExplainResult(std::uint64_t request_id,
@@ -247,6 +267,8 @@ std::vector<std::uint8_t> EncodeProfDumpResult(std::uint64_t request_id,
 std::vector<std::uint8_t> EncodeBusy(std::uint64_t request_id);
 std::vector<std::uint8_t> EncodeError(std::uint64_t request_id,
                                       const std::string& message);
+/// `kDeadlineExceeded`: empty body, like `kBusy`.
+std::vector<std::uint8_t> EncodeDeadlineExceeded(std::uint64_t request_id);
 
 // ---------------------------------------------------------------------------
 // Decoding. `DecodeHeader` consumes the prelude from `reader`; the

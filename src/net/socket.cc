@@ -12,6 +12,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "fault/fault.h"
+
 namespace subex {
 namespace {
 
@@ -116,14 +118,33 @@ Socket ConnectTcp(const std::string& host, std::uint16_t port, int timeout_ms,
     if (error != nullptr) *error = Errno("fcntl");
     return Socket();
   }
+  FaultAction fault_action;
+  if (SUBEX_FAULT(FaultPoint::kSocketConnect, &fault_action) &&
+      fault_action == FaultAction::kFail) {
+    if (error != nullptr) *error = "connect: injected fault";
+    return Socket();
+  }
   if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     if (errno != EINPROGRESS) {
       if (error != nullptr) *error = Errno("connect");
       return Socket();
     }
-    pollfd pfd{sock.fd(), POLLOUT, 0};
-    const int ready = ::poll(&pfd, 1, timeout_ms);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    int ready;
+    do {
+      // A signal landing mid-connect must not abort the round trip: retry
+      // the poll with whatever deadline budget remains (an injected
+      // kEintr at the connect point exercises the same path).
+      if (SUBEX_FAULT(FaultPoint::kSocketConnect, &fault_action) &&
+          fault_action != FaultAction::kEintr) {
+        if (error != nullptr) *error = "connect: injected fault";
+        return Socket();
+      }
+      pollfd pfd{sock.fd(), POLLOUT, 0};
+      ready = ::poll(&pfd, 1, RemainingMs(deadline));
+    } while (ready < 0 && errno == EINTR);
     if (ready <= 0) {
       if (error != nullptr) {
         *error = ready == 0 ? "connect timed out" : Errno("poll");
@@ -177,8 +198,18 @@ bool SendAll(int fd, const std::uint8_t* data, std::size_t size,
       if (error != nullptr) *error = Errno("poll");
       return false;
     }
-    const ssize_t n =
-        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    std::size_t want = size - sent;
+    FaultAction fault_action;
+    if (SUBEX_FAULT(FaultPoint::kSocketWrite, &fault_action)) {
+      if (fault_action == FaultAction::kEintr) continue;
+      if (fault_action == FaultAction::kShort) {
+        want = 1;  // Partial write — the loop must resume from `sent`.
+      } else {
+        if (error != nullptr) *error = "send: injected fault";
+        return false;
+      }
+    }
+    const ssize_t n = ::send(fd, data + sent, want, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       if (error != nullptr) *error = Errno("send");
@@ -205,7 +236,18 @@ bool RecvSome(int fd, std::uint8_t* buffer, std::size_t capacity,
       if (error != nullptr) *error = Errno("poll");
       return false;
     }
-    const ssize_t n = ::recv(fd, buffer, capacity, 0);
+    std::size_t want = capacity;
+    FaultAction fault_action;
+    if (SUBEX_FAULT(FaultPoint::kSocketRead, &fault_action)) {
+      if (fault_action == FaultAction::kEintr) continue;
+      if (fault_action == FaultAction::kShort) {
+        want = 1;  // Partial read — the framing layer must reassemble.
+      } else {
+        if (error != nullptr) *error = "recv: injected fault";
+        return false;
+      }
+    }
+    const ssize_t n = ::recv(fd, buffer, want, 0);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       if (error != nullptr) *error = Errno("recv");

@@ -1,6 +1,7 @@
 #include "online/online_dataset.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <utility>
 
@@ -20,6 +21,60 @@ std::string DetectorEpochKey(const std::string& detector,
                              std::uint64_t epoch) {
   return detector + "@" + std::to_string(epoch);
 }
+
+/// WAL record type: one `Append` batch — `u64 seq | u32 num_rows | rows`
+/// (row-major raw IEEE-754 bits, `num_features` doubles per row).
+constexpr std::uint8_t kWalRowsRecord = 1;
+/// WAL record type: a forced `Flush` advance — `u64 seq`. Without it a
+/// replay would leave the flushed rows pending and land on a different
+/// epoch than the crashed process reached.
+constexpr std::uint8_t kWalFlushRecord = 2;
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void PutF64(std::vector<std::uint8_t>& out, double v) {
+  PutU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked little-endian cursor over a checkpoint/WAL payload;
+/// reads past the end stick `ok = false` instead of overrunning.
+struct PayloadReader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint32_t U32() {
+    if (pos + 4 > size) {
+      ok = false;
+      return 0;
+    }
+    const std::uint32_t v = static_cast<std::uint32_t>(data[pos]) |
+                            (static_cast<std::uint32_t>(data[pos + 1]) << 8) |
+                            (static_cast<std::uint32_t>(data[pos + 2]) << 16) |
+                            (static_cast<std::uint32_t>(data[pos + 3]) << 24);
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t U64() {
+    const std::uint64_t lo = U32();
+    const std::uint64_t hi = U32();
+    return lo | (hi << 32);
+  }
+
+  double F64() { return std::bit_cast<double>(U64()); }
+};
 
 ScoreCacheOptions CacheOptionsFor(const OnlineDatasetOptions& options) {
   ScoreCacheOptions cache = options.cache;
@@ -43,6 +98,10 @@ OnlineDataset::OnlineDataset(const OnlineDatasetOptions& options,
       drift_gauge_(MetricsRegistry::Global().GetGauge("online.drift_score")),
       ingest_rate_gauge_(
           MetricsRegistry::Global().GetGauge("online.ingest_rate")),
+      wal_bytes_gauge_(
+          MetricsRegistry::Global().GetGauge("online.wal_bytes")),
+      recovered_epoch_gauge_(
+          MetricsRegistry::Global().GetGauge("online.recovered_epoch")),
       ingested_counter_(
           MetricsRegistry::Global().GetCounter("online.ingested_points")),
       advances_counter_(
@@ -50,11 +109,16 @@ OnlineDataset::OnlineDataset(const OnlineDatasetOptions& options,
       drift_events_counter_(
           MetricsRegistry::Global().GetCounter("online.drift_events")),
       stale_serves_counter_(
-          MetricsRegistry::Global().GetCounter("online.stale_serves")) {
+          MetricsRegistry::Global().GetCounter("online.stale_serves")),
+      checkpoints_counter_(
+          MetricsRegistry::Global().GetCounter("online.checkpoints")),
+      wal_degraded_counter_(
+          MetricsRegistry::Global().GetCounter("online.wal_degraded")) {
   SUBEX_CHECK(!options.name.empty());
   SUBEX_CHECK(options.advance_every >= 1);
   SUBEX_CHECK(options.advance_every <= options.window_capacity);
   SUBEX_CHECK(options.min_score_window >= 3);  // Batch LODA's floor.
+  if (WalEnabled()) SUBEX_CHECK(options.wal_checkpoint_every >= 1);
 }
 
 OnlineDataset::~OnlineDataset() = default;
@@ -112,8 +176,16 @@ const std::shared_ptr<const Dataset>& OnlineDataset::EnsureSnapshotLocked() {
 OnlineDataset::IngestResult OnlineDataset::Append(const Matrix& rows) {
   SUBEX_CHECK_MSG(rows.cols() == num_features_ || rows.rows() == 0,
                   "ingest width mismatch");
-  IngestResult result;
   std::lock_guard<std::mutex> lock(mutex_);
+  return AppendLocked(rows, /*log_to_wal=*/true);
+}
+
+OnlineDataset::IngestResult OnlineDataset::AppendLocked(const Matrix& rows,
+                                                        bool log_to_wal) {
+  IngestResult result;
+  // Log before applying: a crash after the write replays the batch, a
+  // crash before it is as if the client call never arrived.
+  if (log_to_wal && rows.rows() > 0 && WalEnabled()) WalLogRowsLocked(rows);
   for (std::size_t r = 0; r < rows.rows(); ++r) {
     const std::span<const double> row = rows.Row(r);
     pending_.emplace_back(row.begin(), row.end());
@@ -147,7 +219,26 @@ OnlineDataset::IngestResult OnlineDataset::AppendRow(
 
 void OnlineDataset::Flush() {
   std::lock_guard<std::mutex> lock(mutex_);
+  FlushLocked(/*log_to_wal=*/true);
+}
+
+void OnlineDataset::FlushLocked(bool log_to_wal) {
   if (pending_.empty()) return;
+  if (log_to_wal && WalEnabled() && !wal_degraded_) {
+    EnsureWalOpenLocked();
+    if (!wal_degraded_) {
+      std::vector<std::uint8_t> payload;
+      PutU64(payload, wal_seq_ + 1);
+      std::string error;
+      if (!wal_.Append(kWalFlushRecord, payload.data(), payload.size(),
+                       &error)) {
+        DegradeWalLocked("append", error);
+      } else {
+        ++wal_seq_;
+        wal_bytes_gauge_.Set(static_cast<std::int64_t>(wal_.bytes()));
+      }
+    }
+  }
   Matrix batch(pending_.size(), num_features_);
   for (std::size_t r = 0; r < batch.rows(); ++r) {
     const std::vector<double>& row = pending_[r];
@@ -184,6 +275,15 @@ void OnlineDataset::AdvanceLocked(const Matrix& batch) {
   epochs_invalidated_ += cache_->EvictIf([&](const ScoreKey& key) {
     return !key.detector.ends_with(keep_suffix);
   });
+
+  // Periodic checkpoint + WAL truncation. Suppressed during WAL replay —
+  // a mid-replay truncation would drop records that are only applied, not
+  // re-logged; `RecoverFromWal` collapses everything into one checkpoint
+  // at the end instead.
+  if (WalEnabled() && !in_recovery_ &&
+      advances_ % options_.wal_checkpoint_every == 0) {
+    CheckpointLocked();
+  }
 
   // Ingest rate, measured advance-to-advance.
   const auto now = std::chrono::steady_clock::now();
@@ -234,6 +334,234 @@ void OnlineDataset::AdvanceLocked(const Matrix& batch) {
                          static_cast<std::uint64_t>(window_.size()))
                     .Build());
   }
+}
+
+std::string OnlineDataset::WalPath() const {
+  return options_.wal_dir + "/" + options_.name + ".wal";
+}
+
+std::string OnlineDataset::CheckpointPath() const {
+  return options_.wal_dir + "/" + options_.name + ".ckpt";
+}
+
+void OnlineDataset::EnsureWalOpenLocked() {
+  if (wal_.is_open() || wal_degraded_) return;
+  std::string error;
+  if (!wal_.Open(WalPath(), &error)) DegradeWalLocked("open", error);
+}
+
+void OnlineDataset::DegradeWalLocked(const std::string& what,
+                                     const std::string& error) {
+  if (wal_degraded_) return;
+  wal_degraded_ = true;
+  wal_degraded_counter_.Increment();
+  SUBEX_EVENT(EventSeverity::kError, "online.wal_degraded",
+              JsonObject()
+                  .Add("dataset", options_.name)
+                  .Add("op", what)
+                  .Add("error", error)
+                  .Build());
+}
+
+void OnlineDataset::WalLogRowsLocked(const Matrix& rows) {
+  if (wal_degraded_) return;
+  EnsureWalOpenLocked();
+  if (wal_degraded_) return;
+  std::vector<std::uint8_t> payload;
+  payload.reserve(12 + rows.rows() * num_features_ * 8);
+  PutU64(payload, wal_seq_ + 1);
+  PutU32(payload, static_cast<std::uint32_t>(rows.rows()));
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      PutF64(payload, rows(r, f));
+    }
+  }
+  std::string error;
+  if (!wal_.Append(kWalRowsRecord, payload.data(), payload.size(), &error)) {
+    DegradeWalLocked("append", error);
+    return;
+  }
+  ++wal_seq_;
+  if (options_.wal_sync && !wal_.Sync(&error)) {
+    DegradeWalLocked("sync", error);
+    return;
+  }
+  wal_bytes_gauge_.Set(static_cast<std::int64_t>(wal_.bytes()));
+}
+
+void OnlineDataset::CheckpointLocked() {
+  std::vector<std::uint8_t> payload;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  payload.reserve(48 + (window_.size() + pending_.size()) * num_features_ * 8);
+  PutU64(payload, epoch);
+  PutU64(payload, total_ingested_);
+  PutU64(payload, advances_);
+  PutU64(payload, wal_seq_);
+  // The window's next stream id: rows ever pushed past the pending buffer.
+  const std::int64_t next_id =
+      window_.size() > 0 ? window_.StreamId(window_.size() - 1) + 1 : 0;
+  PutU64(payload, static_cast<std::uint64_t>(next_id));
+  PutU32(payload, static_cast<std::uint32_t>(num_features_));
+  PutU32(payload, static_cast<std::uint32_t>(window_.size()));
+  PutU32(payload, static_cast<std::uint32_t>(pending_.size()));
+  if (window_.size() > 0) {
+    const Dataset snap = window_.Snapshot();
+    for (std::size_t r = 0; r < snap.num_points(); ++r) {
+      for (std::size_t f = 0; f < num_features_; ++f) {
+        PutF64(payload, snap.Value(r, f));
+      }
+    }
+  }
+  for (const std::vector<double>& row : pending_) {
+    for (std::size_t f = 0; f < num_features_; ++f) PutF64(payload, row[f]);
+  }
+  std::string error;
+  if (!WriteCheckpointFile(CheckpointPath(), payload, &error)) {
+    // Not fatal: the WAL keeps every record since the last good
+    // checkpoint, so recovery still works — the log just keeps growing
+    // until a checkpoint lands.
+    SUBEX_EVENT(EventSeverity::kWarn, "online.checkpoint_failed",
+                JsonObject()
+                    .Add("dataset", options_.name)
+                    .Add("epoch", epoch)
+                    .Add("error", error)
+                    .Build());
+    return;
+  }
+  ++checkpoints_;
+  checkpoints_counter_.Increment();
+  if (wal_.is_open()) {
+    std::string truncate_error;
+    if (!wal_.Truncate(&truncate_error)) {
+      DegradeWalLocked("truncate", truncate_error);
+      return;
+    }
+  }
+  wal_bytes_gauge_.Set(static_cast<std::int64_t>(wal_.bytes()));
+}
+
+OnlineDataset::RecoveryResult OnlineDataset::RecoverFromWal() {
+  RecoveryResult result;
+  if (!WalEnabled()) return result;
+  std::lock_guard<std::mutex> lock(mutex_);
+  SUBEX_CHECK_MSG(total_ingested_ == 0 && advances_ == 0,
+                  "RecoverFromWal after ingest started");
+
+  const CheckpointReadResult ckpt = ReadCheckpointFile(CheckpointPath());
+  if (!ckpt.ok()) {
+    result.error = ckpt.error;
+    return result;
+  }
+  if (ckpt.exists) {
+    PayloadReader reader{ckpt.payload.data(), ckpt.payload.size()};
+    const std::uint64_t epoch = reader.U64();
+    const std::uint64_t total_ingested = reader.U64();
+    const std::uint64_t advances = reader.U64();
+    const std::uint64_t wal_seq = reader.U64();
+    const std::uint64_t next_id = reader.U64();
+    const std::uint32_t num_features = reader.U32();
+    const std::uint32_t window_rows = reader.U32();
+    const std::uint32_t pending_rows = reader.U32();
+    if (!reader.ok || num_features != num_features_ ||
+        window_rows > options_.window_capacity) {
+      result.error = "checkpoint: malformed payload";
+      return result;
+    }
+    std::vector<std::vector<double>> rows(window_rows);
+    for (auto& row : rows) {
+      row.resize(num_features_);
+      for (std::size_t f = 0; f < num_features_; ++f) row[f] = reader.F64();
+    }
+    std::deque<std::vector<double>> pending;
+    for (std::uint32_t r = 0; r < pending_rows; ++r) {
+      std::vector<double> row(num_features_);
+      for (std::size_t f = 0; f < num_features_; ++f) row[f] = reader.F64();
+      pending.push_back(std::move(row));
+    }
+    if (!reader.ok) {
+      result.error = "checkpoint: truncated payload";
+      return result;
+    }
+    window_.Restore(std::move(rows), static_cast<std::int64_t>(next_id));
+    pending_ = std::move(pending);
+    snapshot_.reset();
+    total_ingested_ = total_ingested;
+    advances_ = advances;
+    wal_seq_ = wal_seq;
+    epoch_.store(epoch, std::memory_order_release);
+    epoch_gauge_.Set(static_cast<std::int64_t>(epoch));
+    result.recovered = true;
+    result.checkpoint_epoch = epoch;
+  }
+
+  const WalReadResult wal = ReadWal(WalPath());
+  if (!wal.ok()) {
+    result.error = wal.error;
+    return result;
+  }
+  result.truncated_tail = wal.truncated_tail;
+  in_recovery_ = true;
+  for (const WalRecord& record : wal.records) {
+    PayloadReader reader{record.payload.data(), record.payload.size()};
+    const std::uint64_t seq = reader.U64();
+    if (!reader.ok) {
+      in_recovery_ = false;
+      result.error = "wal: malformed record";
+      return result;
+    }
+    // A crash between checkpoint rename and WAL truncation leaves records
+    // the checkpoint already covers; skip them by sequence number.
+    if (seq <= wal_seq_) continue;
+    if (record.type == kWalRowsRecord) {
+      const std::uint32_t num_rows = reader.U32();
+      if (!reader.ok ||
+          record.payload.size() !=
+              12 + std::size_t{num_rows} * num_features_ * 8) {
+        in_recovery_ = false;
+        result.error = "wal: malformed rows record";
+        return result;
+      }
+      Matrix batch(num_rows, num_features_);
+      for (std::size_t r = 0; r < num_rows; ++r) {
+        for (std::size_t f = 0; f < num_features_; ++f) {
+          batch(r, f) = reader.F64();
+        }
+      }
+      wal_seq_ = seq;
+      AppendLocked(batch, /*log_to_wal=*/false);
+      result.replayed_rows += num_rows;
+    } else if (record.type == kWalFlushRecord) {
+      wal_seq_ = seq;
+      FlushLocked(/*log_to_wal=*/false);
+    } else {
+      wal_seq_ = seq;  // Unknown (newer) record type: skip, keep ordering.
+    }
+    ++result.replayed_records;
+  }
+  in_recovery_ = false;
+  result.recovered = result.recovered || result.replayed_records > 0;
+
+  recovered_epoch_ = epoch_.load(std::memory_order_relaxed);
+  recovered_epoch_gauge_.Set(static_cast<std::int64_t>(recovered_epoch_));
+  EnsureWalOpenLocked();
+  if (result.recovered && !wal_degraded_) {
+    // Collapse the restored state into a fresh checkpoint + empty WAL so
+    // the next crash replays from here, not from the pre-crash artifacts.
+    CheckpointLocked();
+  }
+  wal_bytes_gauge_.Set(static_cast<std::int64_t>(wal_.bytes()));
+  if (result.recovered) {
+    SUBEX_EVENT(EventSeverity::kInfo, "online.recovered",
+                JsonObject()
+                    .Add("dataset", options_.name)
+                    .Add("epoch", recovered_epoch_)
+                    .Add("checkpoint_epoch", result.checkpoint_epoch)
+                    .Add("replayed_records", result.replayed_records)
+                    .Add("replayed_rows", result.replayed_rows)
+                    .Add("truncated_tail", result.truncated_tail)
+                    .Build());
+  }
+  return result;
 }
 
 OnlineDataset::EpochSnapshot OnlineDataset::Snapshot() {
@@ -330,6 +658,12 @@ OnlineDataset::StatsSnapshot OnlineDataset::stats() const {
   snapshot.drift_score = last_drift_.ks_statistic;
   snapshot.drift_p_value = last_drift_.p_value;
   snapshot.drift_events = drift_monitor_.drift_count();
+  snapshot.wal_enabled = WalEnabled();
+  snapshot.wal_bytes = wal_.bytes();
+  snapshot.wal_records = wal_.records();
+  snapshot.checkpoints = checkpoints_;
+  snapshot.recovered_epoch = recovered_epoch_;
+  snapshot.wal_degraded = wal_degraded_;
   return snapshot;
 }
 
@@ -350,6 +684,12 @@ std::string OnlineDataset::StatsSnapshot::ToJson() const {
       .Add("drift_score", drift_score)
       .Add("drift_p_value", drift_p_value)
       .Add("drift_events", drift_events)
+      .Add("wal_enabled", wal_enabled)
+      .Add("wal_bytes", wal_bytes)
+      .Add("wal_records", wal_records)
+      .Add("checkpoints", checkpoints)
+      .Add("recovered_epoch", recovered_epoch)
+      .Add("wal_degraded", wal_degraded)
       .Build();
 }
 

@@ -17,6 +17,7 @@
 #include "detect/loda.h"
 #include "obs/metrics.h"
 #include "online/drift_monitor.h"
+#include "online/wal.h"
 #include "online/windowed_scorer.h"
 #include "serve/score_cache.h"
 #include "stream/sliding_window.h"
@@ -43,6 +44,15 @@ struct OnlineDatasetOptions {
   std::string drift_detector;
   /// Sizing/manager/name of the per-epoch score cache.
   ScoreCacheOptions cache;
+  /// Directory for the crash-safety artifacts (`<dir>/<name>.wal`,
+  /// `<dir>/<name>.ckpt`). Empty disables the WAL: ingest is then lost on
+  /// a crash.
+  std::string wal_dir;
+  /// Checkpoint (and truncate the WAL) every this many advances.
+  std::size_t wal_checkpoint_every = 16;
+  /// fdatasync the WAL after every append. A kill -9 survives the page
+  /// cache without this; enable it for power-loss-grade durability.
+  bool wal_sync = false;
 };
 
 /// A named, continuously-ingesting windowed dataset: the serving-side
@@ -67,6 +77,21 @@ struct OnlineDatasetOptions {
 /// scoring (incremental scorers are fast, so the critical sections are
 /// short); stale-snapshot recomputes (`ScoreAt` after the window moved on)
 /// run outside the lock. Scorer registration must finish before serving.
+///
+/// Crash safety (`wal_dir` set): every `Append` batch is logged to a
+/// checksummed WAL before it is applied, and every `wal_checkpoint_every`
+/// advances the full ingest state (window rows, pending rows, epoch,
+/// counters) is checkpointed atomically and the WAL truncated. After a
+/// kill -9, `RecoverFromWal` — called after scorer registration, before
+/// serving — restores the checkpoint and replays post-checkpoint WAL
+/// records through the normal ingest path, landing at the exact epoch the
+/// crashed process reached with bitwise-identical window contents; the
+/// scorer parity contract then makes every window score bitwise identical
+/// to an uninterrupted run. Drift-monitor history is deliberately not
+/// checkpointed: it influences only drift *events*, never scores, and
+/// re-warms within a few epochs. A WAL write failure degrades (logging
+/// stops, `online.wal_degraded` event + flag, serving continues) rather
+/// than failing ingest.
 class OnlineDataset {
  public:
   OnlineDataset(const OnlineDatasetOptions& options,
@@ -108,6 +133,27 @@ class OnlineDataset {
 
   /// Forces an advance with the pending rows, if any (stream end / tests).
   void Flush();
+
+  /// What `RecoverFromWal` found on disk.
+  struct RecoveryResult {
+    bool recovered = false;  ///< A checkpoint or WAL records were applied.
+    std::uint64_t checkpoint_epoch = 0;  ///< Epoch the checkpoint restored.
+    std::uint64_t replayed_records = 0;  ///< Post-checkpoint WAL records.
+    std::uint64_t replayed_rows = 0;     ///< Rows those records carried.
+    /// The WAL ended in a torn record (expected after a crash mid-append;
+    /// the torn record was dropped).
+    bool truncated_tail = false;
+    std::string error;  ///< Non-empty: corrupt artifacts, nothing applied.
+    bool ok() const { return error.empty(); }
+  };
+
+  /// Restores state from `<wal_dir>/<name>.ckpt` + `<name>.wal`, then
+  /// collapses both into a fresh checkpoint. Call after scorer
+  /// registration and before serving; a no-op when `wal_dir` is empty or
+  /// the directory is fresh. Scorers need no replay notification: their
+  /// per-subspace state rebuilds lazily from the restored window snapshot
+  /// (bitwise the batch computation, by the parity contract).
+  RecoveryResult RecoverFromWal();
 
   /// A pinned epoch: the window contents frozen at `epoch`. `data` is null
   /// while the window is empty.
@@ -160,6 +206,12 @@ class OnlineDataset {
     double drift_score = 0.0;    ///< Last KS D statistic.
     double drift_p_value = 1.0;
     std::uint64_t drift_events = 0;
+    bool wal_enabled = false;
+    std::uint64_t wal_bytes = 0;     ///< Current WAL file size.
+    std::uint64_t wal_records = 0;   ///< Records appended since open/truncate.
+    std::uint64_t checkpoints = 0;   ///< Checkpoints written.
+    std::uint64_t recovered_epoch = 0;  ///< Epoch RecoverFromWal restored.
+    bool wal_degraded = false;       ///< WAL write failed; logging stopped.
     std::string ToJson() const;
   };
   StatsSnapshot stats() const;
@@ -179,9 +231,18 @@ class OnlineDataset {
 
   WindowedScorer* FindScorer(const std::string& detector_name) const;
   const std::shared_ptr<const Dataset>& EnsureSnapshotLocked();
+  IngestResult AppendLocked(const Matrix& rows, bool log_to_wal);
+  void FlushLocked(bool log_to_wal);
   void AdvanceLocked(const Matrix& batch);
   Status ScoreLocked(const std::string& detector_name,
                      const Subspace& subspace, ScoredEpoch* out);
+  bool WalEnabled() const { return !options_.wal_dir.empty(); }
+  std::string WalPath() const;
+  std::string CheckpointPath() const;
+  void EnsureWalOpenLocked();
+  void WalLogRowsLocked(const Matrix& rows);
+  void DegradeWalLocked(const std::string& what, const std::string& error);
+  void CheckpointLocked();
 
   const OnlineDatasetOptions options_;
   const std::size_t num_features_;
@@ -199,16 +260,27 @@ class OnlineDataset {
   std::uint64_t epochs_invalidated_ = 0;
   std::chrono::steady_clock::time_point last_advance_time_;
 
+  WalWriter wal_;
+  std::uint64_t wal_seq_ = 0;      ///< Seq of the last logged WAL record.
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t recovered_epoch_ = 0;
+  bool wal_degraded_ = false;
+  bool in_recovery_ = false;  ///< Suppresses checkpoints during replay.
+
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> stale_serves_{0};
 
   Gauge& epoch_gauge_;
   Gauge& drift_gauge_;
   Gauge& ingest_rate_gauge_;
+  Gauge& wal_bytes_gauge_;
+  Gauge& recovered_epoch_gauge_;
   Counter& ingested_counter_;
   Counter& advances_counter_;
   Counter& drift_events_counter_;
   Counter& stale_serves_counter_;
+  Counter& checkpoints_counter_;
+  Counter& wal_degraded_counter_;
 };
 
 /// Detector adapter pinning an `OnlineDataset` epoch: explainers score

@@ -1,0 +1,289 @@
+#include "online/wal.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "fault/fault.h"
+
+namespace subex {
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x43584253u;  // "SBXC" LE.
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+const std::array<std::uint32_t, 256>& Crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Writes the whole buffer, resuming on partial writes and EINTR.
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t size,
+              std::string* error) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = Errno("write");
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::vector<std::uint8_t>* out,
+              bool* exists, std::string* error) {
+  *exists = false;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return true;
+    if (error != nullptr) *error = Errno("open " + path);
+    return false;
+  }
+  *exists = true;
+  out->clear();
+  std::uint8_t buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = Errno("read " + path);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->insert(out->end(), buf, buf + n);
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size) {
+  const auto& table = Crc32Table();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+bool WalWriter::Open(const std::string& path, std::string* error) {
+  Close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = Errno("open " + path);
+    return false;
+  }
+  struct stat st;
+  bytes_ = (::fstat(fd_, &st) == 0) ? static_cast<std::uint64_t>(st.st_size)
+                                    : 0;
+  records_ = 0;
+  return true;
+}
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool WalWriter::Append(std::uint8_t type, const std::uint8_t* payload,
+                       std::size_t size, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "wal not open";
+    return false;
+  }
+  FaultAction fault_action;
+  if (SUBEX_FAULT(FaultPoint::kWalAppend, &fault_action)) {
+    if (error != nullptr) *error = "wal append: injected fault";
+    return false;
+  }
+  std::vector<std::uint8_t> framed;
+  framed.reserve(9 + size);
+  PutU32(framed, static_cast<std::uint32_t>(size));
+  // CRC covers the type byte and payload, so a bit flip anywhere in the
+  // record (except the length, which the payload-walk bounds) is caught.
+  std::vector<std::uint8_t> checked;
+  checked.reserve(1 + size);
+  checked.push_back(type);
+  checked.insert(checked.end(), payload, payload + size);
+  PutU32(framed, Crc32(checked.data(), checked.size()));
+  framed.insert(framed.end(), checked.begin(), checked.end());
+  if (!WriteAll(fd_, framed.data(), framed.size(), error)) return false;
+  bytes_ += framed.size();
+  ++records_;
+  return true;
+}
+
+bool WalWriter::Sync(std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "wal not open";
+    return false;
+  }
+  FaultAction fault_action;
+  if (SUBEX_FAULT(FaultPoint::kWalSync, &fault_action)) {
+    if (error != nullptr) *error = "wal sync: injected fault";
+    return false;
+  }
+  if (::fdatasync(fd_) != 0) {
+    if (error != nullptr) *error = Errno("fdatasync");
+    return false;
+  }
+  return true;
+}
+
+bool WalWriter::Truncate(std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "wal not open";
+    return false;
+  }
+  if (::ftruncate(fd_, 0) != 0) {
+    if (error != nullptr) *error = Errno("ftruncate");
+    return false;
+  }
+  // O_APPEND writes always land at the (now zero) end of file.
+  bytes_ = 0;
+  records_ = 0;
+  return true;
+}
+
+WalReadResult ReadWal(const std::string& path) {
+  WalReadResult result;
+  std::vector<std::uint8_t> raw;
+  bool exists = false;
+  if (!ReadFile(path, &raw, &exists, &result.error)) return result;
+  if (!exists) return result;
+  std::size_t pos = 0;
+  while (pos + 8 <= raw.size()) {
+    const std::uint32_t len = GetU32(raw.data() + pos);
+    const std::uint32_t crc = GetU32(raw.data() + pos + 4);
+    if (pos + 8 + 1 + len > raw.size()) {
+      result.truncated_tail = true;  // Torn final record: stop cleanly.
+      break;
+    }
+    const std::uint8_t* checked = raw.data() + pos + 8;
+    if (Crc32(checked, 1 + len) != crc) {
+      result.truncated_tail = true;
+      break;
+    }
+    WalRecord record;
+    record.type = checked[0];
+    record.payload.assign(checked + 1, checked + 1 + len);
+    result.records.push_back(std::move(record));
+    pos += 8 + 1 + len;
+  }
+  if (pos < raw.size() && !result.truncated_tail) result.truncated_tail = true;
+  result.bytes_consumed = pos;
+  return result;
+}
+
+bool WriteCheckpointFile(const std::string& path,
+                         const std::vector<std::uint8_t>& payload,
+                         std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("open " + tmp);
+    return false;
+  }
+  std::vector<std::uint8_t> framed;
+  framed.reserve(16 + payload.size());
+  PutU32(framed, kCheckpointMagic);
+  PutU32(framed, kCheckpointVersion);
+  PutU32(framed, Crc32(payload.data(), payload.size()));
+  PutU32(framed, static_cast<std::uint32_t>(payload.size()));
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  const bool written = WriteAll(fd, framed.data(), framed.size(), error);
+  FaultAction fault_action;
+  bool synced = written;
+  if (synced && SUBEX_FAULT(FaultPoint::kWalSync, &fault_action)) {
+    if (error != nullptr) *error = "checkpoint sync: injected fault";
+    synced = false;
+  }
+  if (synced && ::fsync(fd) != 0) {
+    if (error != nullptr) *error = Errno("fsync");
+    synced = false;
+  }
+  ::close(fd);
+  if (!synced) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // rename is atomic: readers see either the old checkpoint or the new
+  // one, never a torn file.
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = Errno("rename");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+CheckpointReadResult ReadCheckpointFile(const std::string& path) {
+  CheckpointReadResult result;
+  std::vector<std::uint8_t> raw;
+  if (!ReadFile(path, &raw, &result.exists, &result.error)) return result;
+  if (!result.exists) return result;
+  if (raw.size() < 16 || GetU32(raw.data()) != kCheckpointMagic) {
+    result.error = "checkpoint: bad magic or truncated envelope";
+    return result;
+  }
+  if (GetU32(raw.data() + 4) != kCheckpointVersion) {
+    result.error = "checkpoint: unsupported version";
+    return result;
+  }
+  const std::uint32_t crc = GetU32(raw.data() + 8);
+  const std::uint32_t len = GetU32(raw.data() + 12);
+  if (16 + static_cast<std::size_t>(len) != raw.size()) {
+    result.error = "checkpoint: length mismatch";
+    return result;
+  }
+  if (Crc32(raw.data() + 16, len) != crc) {
+    result.error = "checkpoint: CRC mismatch";
+    return result;
+  }
+  result.payload.assign(raw.begin() + 16, raw.end());
+  return result;
+}
+
+}  // namespace subex

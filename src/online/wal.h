@@ -1,0 +1,110 @@
+#ifndef SUBEX_ONLINE_WAL_H_
+#define SUBEX_ONLINE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace subex {
+
+/// \file
+/// Length-prefixed, checksummed write-ahead log + checkpoint files for
+/// crash-safe `OnlineDataset` ingest.
+///
+/// On-disk record layout (little-endian):
+///
+///   | u32 payload_len | u32 crc32(type ++ payload) | u8 type | payload |
+///
+/// A reader replays records until the file ends or a record fails its
+/// length/CRC check — a torn tail from a crash mid-write truncates cleanly
+/// to the last durable record instead of poisoning the replay. Checkpoints
+/// live in a sibling file written tmp + fsync + rename, so a crash between
+/// checkpointing and WAL truncation leaves both artifacts readable and
+/// recovery simply skips WAL records the checkpoint already covers.
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG one).
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size);
+
+/// One decoded WAL record.
+struct WalRecord {
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Appends records to one log file. Not thread-safe — `OnlineDataset`
+/// serializes appends under its ingest mutex.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creating if absent) `path` for appending. On success `bytes()`
+  /// reflects the existing file size.
+  bool Open(const std::string& path, std::string* error = nullptr);
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends one record. The write is a single `write(2)` of the framed
+  /// record, so a crash tears at most the final record (which the reader
+  /// drops). Injection points: `kWalAppend` fails the write, `kWalSync`
+  /// fails `Sync`.
+  bool Append(std::uint8_t type, const std::uint8_t* payload,
+              std::size_t size, std::string* error = nullptr);
+
+  /// fdatasync the log (kill -9 survives the page cache; this is for
+  /// power-loss-grade durability and the checkpoint path).
+  bool Sync(std::string* error = nullptr);
+
+  /// Empties the log (after a durable checkpoint made its records
+  /// redundant).
+  bool Truncate(std::string* error = nullptr);
+
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t records() const { return records_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+/// Replays a WAL file front to back.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  std::uint64_t bytes_consumed = 0;
+  /// A trailing partial or CRC-corrupt record was dropped (expected after
+  /// a crash mid-append; not an error).
+  bool truncated_tail = false;
+  /// Unreadable file (open/IO failure). An absent file yields zero records
+  /// with `ok` — a fresh directory is not an error.
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+WalReadResult ReadWal(const std::string& path);
+
+/// Writes `payload` to `path` atomically: tmp file + fsync + rename, with a
+/// magic/CRC envelope (`| magic "SBXC" | u32 version | u32 crc32(payload) |
+/// u32 payload_len | payload |`). Used for epoch checkpoints.
+bool WriteCheckpointFile(const std::string& path,
+                         const std::vector<std::uint8_t>& payload,
+                         std::string* error = nullptr);
+
+/// Reads a checkpoint written by `WriteCheckpointFile`. Absent file: ok()
+/// with `exists == false`. Corrupt envelope/CRC: error (the caller decides
+/// whether to fall back to a full WAL replay).
+struct CheckpointReadResult {
+  bool exists = false;
+  std::vector<std::uint8_t> payload;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+CheckpointReadResult ReadCheckpointFile(const std::string& path);
+
+}  // namespace subex
+
+#endif  // SUBEX_ONLINE_WAL_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "fault/fault.h"
 
 namespace subex {
 
@@ -90,6 +91,10 @@ void ScoreCache::Put(const ScoreKey& key, ScoreVectorPtr value) {
   // Shard caps are immutable, so hopeless inserts bail before reserving.
   if (shard.max_entries == 0) return;
   if (entry_bytes > shard.max_bytes) return;
+  // The cache is best-effort, so a dropped insert is always legal; the
+  // injection point exercises every caller's cache-miss path.
+  FaultAction fault_action;
+  if (SUBEX_FAULT(FaultPoint::kCacheAdmit, &fault_action)) return;
   // Reserve global budget before taking the shard lock: the manager's
   // pressure pass may re-enter this cache (any shard) to make room.
   if (manager_ != nullptr &&

@@ -30,6 +30,18 @@ int SlidingWindow::WindowIndex(std::int64_t id) const {
   return static_cast<int>(id - oldest);
 }
 
+void SlidingWindow::Restore(std::vector<std::vector<double>> rows,
+                            std::int64_t next_id) {
+  SUBEX_CHECK(rows.size() <= capacity_);
+  SUBEX_CHECK(next_id >= static_cast<std::int64_t>(rows.size()));
+  for (const auto& row : rows) {
+    SUBEX_CHECK_MSG(row.size() == num_features_, "stream width mismatch");
+  }
+  rows_.assign(std::make_move_iterator(rows.begin()),
+               std::make_move_iterator(rows.end()));
+  next_id_ = next_id;
+}
+
 Dataset SlidingWindow::Snapshot() const {
   SUBEX_CHECK_MSG(!rows_.empty(), "empty window");
   Matrix m(rows_.size(), num_features_);

@@ -43,6 +43,12 @@ class SlidingWindow {
   /// no points of interest set). O(size * num_features) copy.
   Dataset Snapshot() const;
 
+  /// Replaces the retained points wholesale (crash recovery): `rows`
+  /// become the window oldest-first and `next_id` the id of the next
+  /// pushed point. Requires `rows.size() <= capacity()` and every row to
+  /// be `num_features()` wide.
+  void Restore(std::vector<std::vector<double>> rows, std::int64_t next_id);
+
  private:
   std::size_t capacity_;
   std::size_t num_features_;

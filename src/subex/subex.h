@@ -52,6 +52,7 @@
 #include "explain/refout.h"
 #include "explain/summarizer.h"
 #include "explain/surrogate.h"
+#include "fault/fault.h"
 #include "mem/cache_slot.h"
 #include "mem/dlist.h"
 #include "mem/eviction_manager.h"
@@ -68,6 +69,7 @@
 #include "obs/trace.h"
 #include "online/drift_monitor.h"
 #include "online/online_dataset.h"
+#include "online/wal.h"
 #include "online/windowed_scorer.h"
 #include "prof/perf_counters.h"
 #include "prof/sampling_profiler.h"

@@ -1,0 +1,181 @@
+// Memory governance under injected admission/reservation failures and
+// concurrency: dropped inserts must never corrupt the byte accounting —
+// after the dust settles, cache bytes and manager charges agree exactly.
+// The TSan CI lane runs these to prove the fault paths are race-free.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.h"
+#include "mem/eviction_manager.h"
+#include "serve/score_cache.h"
+
+namespace subex {
+namespace {
+
+ScoreKey KeyFor(int i) {
+  return ScoreKey{"det" + std::to_string(i % 3),
+                  Subspace({i % 7, 7 + i % 5})};
+}
+
+ScoreVectorPtr VectorOf(std::size_t n, double fill) {
+  return std::make_shared<const std::vector<double>>(n, fill);
+}
+
+TEST(MemFaults, InjectedReserveFailureDropsInsertWithoutCharging) {
+  EvictionManager manager(EvictionManagerOptions{1 << 20});
+  ScoreCacheOptions options;
+  options.num_shards = 1;
+  options.manager = &manager;
+  options.name = "faulted";
+  ScoreCache cache(options);
+
+  FaultControl control;
+  FaultRule fail;
+  fail.limit = 1;
+  control.Arm(FaultPoint::kMemReserve, fail);
+
+  cache.Put(KeyFor(0), VectorOf(64, 1.0));  // Injection: dropped.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(manager.used_bytes(), 0u);
+  EXPECT_EQ(manager.snapshot().reserve_failures, 1u);
+
+  cache.Put(KeyFor(0), VectorOf(64, 1.0));  // Fault spent: admitted.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(manager.used_bytes(), cache.bytes());
+}
+
+TEST(MemFaults, InjectedCacheAdmitFaultDropsTheValueOnly) {
+  EvictionManager manager(EvictionManagerOptions{1 << 20});
+  ScoreCacheOptions options;
+  options.num_shards = 1;
+  options.manager = &manager;
+  ScoreCache cache(options);
+
+  FaultControl control;
+  FaultRule fail;
+  fail.limit = 1;
+  control.Arm(FaultPoint::kCacheAdmit, fail);
+
+  cache.Put(KeyFor(1), VectorOf(32, 2.0));
+  EXPECT_EQ(cache.Get(KeyFor(1)), nullptr);  // Best-effort: simply absent.
+  EXPECT_EQ(cache.size(), 0u);
+  // The drop happened before reservation, so nothing was ever charged.
+  EXPECT_EQ(manager.used_bytes(), 0u);
+
+  cache.Put(KeyFor(1), VectorOf(32, 2.0));
+  ASSERT_NE(cache.Get(KeyFor(1)), nullptr);
+  EXPECT_EQ(manager.used_bytes(), cache.bytes());
+}
+
+TEST(MemFaults, ConcurrentChurnUnderFaultsKeepsAccountingExact) {
+  // A budget small enough to force genuine pressure-reclaim passes, plus
+  // probabilistic reservation/admission faults, across several threads.
+  EvictionManager manager(EvictionManagerOptions{64 * 1024});
+  ScoreCacheOptions options;
+  options.num_shards = 4;
+  options.max_bytes = 64 * 1024;
+  options.manager = &manager;
+  options.name = "churn";
+  ScoreCache cache(options);
+
+  FaultControl control(/*seed=*/9);
+  FaultRule sometimes;
+  sometimes.probability = 0.2;
+  control.Arm(FaultPoint::kMemReserve, sometimes);
+  control.Arm(FaultPoint::kCacheAdmit, sometimes);
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<int> started{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      started.fetch_add(1, std::memory_order_acq_rel);
+      while (started.load(std::memory_order_acquire) < kThreads) {
+        std::this_thread::yield();
+      }
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int k = (t * kOpsPerThread + i) % 40;
+        if (i % 3 == 0) {
+          (void)cache.Get(KeyFor(k));
+        } else {
+          cache.Put(KeyFor(k), VectorOf(16 + k % 64, static_cast<double>(i)));
+        }
+        if (i % 500 == 499) {
+          (void)cache.EvictIf(
+              [&](const ScoreKey& key) { return key.detector == "det0"; });
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  control.Disarm(FaultPoint::kMemReserve);
+  control.Disarm(FaultPoint::kCacheAdmit);
+
+  // Quiescent: the cache's view and the manager's charge must agree to the
+  // byte, and both must respect the budget.
+  EXPECT_EQ(manager.used_bytes(), cache.bytes());
+  EXPECT_LE(manager.used_bytes(), manager.budget_bytes());
+  const EvictionManagerSnapshot snapshot = manager.snapshot();
+  EXPECT_GT(snapshot.reserve_calls, 0u);
+  EXPECT_GT(snapshot.reserve_failures, 0u);  // The faults really fired.
+
+  // Clear releases everything.
+  cache.Clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(manager.used_bytes(), 0u);
+}
+
+TEST(MemFaults, PressureReclaimUnderInjectedFailuresStaysConsistent) {
+  // Two caches share one tight budget: cache B's inserts trigger reclaim
+  // passes that evict cache A's tail, while injected reserve failures
+  // randomly drop inserts on both. Accounting must survive the crossfire.
+  EvictionManager manager(EvictionManagerOptions{32 * 1024});
+  ScoreCacheOptions options_a;
+  options_a.num_shards = 2;
+  options_a.manager = &manager;
+  options_a.name = "a";
+  ScoreCache cache_a(options_a);
+  ScoreCacheOptions options_b = options_a;
+  options_b.name = "b";
+  ScoreCache cache_b(options_b);
+
+  FaultControl control(/*seed=*/31);
+  FaultRule sometimes;
+  sometimes.probability = 0.15;
+  control.Arm(FaultPoint::kMemReserve, sometimes);
+
+  std::thread writer_a([&] {
+    for (int i = 0; i < 3000; ++i) {
+      cache_a.Put(KeyFor(i % 30), VectorOf(48, 1.0));
+    }
+  });
+  std::thread writer_b([&] {
+    for (int i = 0; i < 3000; ++i) {
+      cache_b.Put(KeyFor(i % 30), VectorOf(48, 2.0));
+    }
+  });
+  writer_a.join();
+  writer_b.join();
+  control.Disarm(FaultPoint::kMemReserve);
+
+  EXPECT_EQ(manager.used_bytes(), cache_a.bytes() + cache_b.bytes());
+  EXPECT_LE(manager.used_bytes(), manager.budget_bytes());
+
+  cache_a.Clear();
+  cache_b.Clear();
+  EXPECT_EQ(manager.used_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace subex

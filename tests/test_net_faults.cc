@@ -1,0 +1,313 @@
+// Injected transport faults against a live client/server pair: EINTR and
+// short-read/write resilience, hard failures surfacing as clean client
+// statuses, wire deadlines expiring in queue and in compute, the retry
+// budget, and the circuit breaker's open/half-open cycle.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generators.h"
+#include "detect/lof.h"
+#include "explain/beam.h"
+#include "fault/fault.h"
+#include "net/explain_client.h"
+#include "net/explain_server.h"
+#include "serve/scoring_service.h"
+
+namespace subex {
+namespace {
+
+SyntheticDataset SmallHics(std::uint64_t seed = 77) {
+  HicsGeneratorConfig config;
+  config.num_points = 120;
+  config.subspace_dims = {2, 2, 3};  // 7 features.
+  config.seed = seed;
+  return GenerateHicsDataset(config);
+}
+
+/// Blocks every `Score` call while the gate is closed — makes "a request
+/// is computing right now" a deterministic state instead of a race.
+class GateDetector : public Detector {
+ public:
+  GateDetector(const Detector& inner, std::atomic<bool>* gate)
+      : inner_(inner), gate_(gate) {}
+  std::string name() const override { return inner_.name(); }
+  std::vector<double> Score(const Dataset& data,
+                            const Subspace& subspace) const override {
+    while (!gate_->load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return inner_.Score(data, subspace);
+  }
+
+ private:
+  const Detector& inner_;
+  std::atomic<bool>* gate_;
+};
+
+bool WaitFor(const std::function<bool()>& predicate, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return predicate();
+}
+
+class NetFaultTest : public ::testing::Test {
+ protected:
+  void StartServer(const ExplainServerOptions& options = {},
+                   std::size_t pool_threads = 2, bool gated = false) {
+    gate_.store(true, std::memory_order_release);
+    pool_ = std::make_unique<ThreadPool>(pool_threads);
+    const Detector* detector = &lof_;
+    if (gated) {
+      gate_.store(false, std::memory_order_release);
+      gated_lof_ = std::make_unique<GateDetector>(lof_, &gate_);
+      detector = gated_lof_.get();
+    }
+    service_ = std::make_unique<ScoringService>(
+        *detector, data_.dataset, ScoringServiceOptions{}, pool_.get());
+    server_ = std::make_unique<ExplainServer>(options, pool_.get());
+    server_->RegisterService(*service_);
+    server_->RegisterExplainer("Beam", beam_);
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+  }
+
+  void OpenGate() { gate_.store(true, std::memory_order_release); }
+
+  ExplainClient MakeClient(ExplainClientOptions options = {}) {
+    ExplainClient client(options);
+    std::string error;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+    return client;
+  }
+
+  SyntheticDataset data_ = SmallHics();
+  Lof lof_{15};
+  Beam beam_;
+  std::atomic<bool> gate_{true};
+  std::unique_ptr<GateDetector> gated_lof_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ScoringService> service_;
+  std::unique_ptr<ExplainServer> server_;
+};
+
+TEST_F(NetFaultTest, ShortReadsAndWritesStillRoundTripBitwise) {
+  StartServer();
+  const std::vector<double> direct =
+      ScoreStandardized(lof_, data_.dataset, Subspace({0, 1}));
+
+  FaultControl control;
+  FaultRule torn;
+  torn.action = FaultAction::kShort;
+  torn.limit = 400;  // Both sides read/write one byte at a time for a while.
+  control.Arm(FaultPoint::kSocketRead, torn);
+  control.Arm(FaultPoint::kSocketWrite, torn);
+
+  ExplainClient client = MakeClient();
+  const ExplainClient::ScoreReply reply = client.Score("LOF", Subspace({0, 1}));
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_EQ(reply.scores, direct);  // Reassembly is invisible to the payload.
+  EXPECT_EQ(client.stats().transport_errors, 0u);
+}
+
+TEST_F(NetFaultTest, EintrOnEverySocketOpStillRoundTrips) {
+  StartServer();
+  FaultControl control;
+  FaultRule eintr;
+  eintr.action = FaultAction::kEintr;
+  eintr.limit = 40;  // Bounded: an unbounded certain EINTR would spin.
+  control.Arm(FaultPoint::kSocketRead, eintr);
+  control.Arm(FaultPoint::kSocketWrite, eintr);
+  control.Arm(FaultPoint::kSocketConnect, eintr);
+
+  ExplainClient client = MakeClient();
+  const ExplainClient::ScoreReply reply = client.Score("LOF", Subspace({2}));
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_EQ(reply.scores,
+            ScoreStandardized(lof_, data_.dataset, Subspace({2})));
+}
+
+TEST_F(NetFaultTest, HardReadFaultTearsConnectionAndReconnectRecovers) {
+  StartServer();
+  ExplainClient client = MakeClient();
+  ASSERT_TRUE(client.Score("LOF", Subspace({0})).ok());
+
+  {
+    FaultControl control;
+    FaultRule fail;
+    fail.limit = 1;
+    control.Arm(FaultPoint::kSocketRead, fail);
+    const ExplainClient::ScoreReply reply = client.Score("LOF", Subspace({0}));
+    EXPECT_EQ(reply.status, ClientStatus::kTransportError) << reply.error;
+    EXPECT_FALSE(client.connected());
+  }
+
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  const ExplainClient::ScoreReply reply = client.Score("LOF", Subspace({0}));
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  const ClientStatsSnapshot stats = client.stats();
+  EXPECT_EQ(stats.transport_errors, 1u);
+  EXPECT_EQ(stats.reconnects, 1u);
+}
+
+TEST_F(NetFaultTest, ConnectFaultSurfacesAndRetrySucceeds) {
+  StartServer();
+  FaultControl control;
+  FaultRule fail;
+  fail.limit = 1;
+  control.Arm(FaultPoint::kSocketConnect, fail);
+
+  ExplainClient client;
+  std::string error;
+  EXPECT_FALSE(client.Connect("127.0.0.1", server_->port(), &error));
+  EXPECT_NE(error.find("injected"), std::string::npos) << error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  EXPECT_TRUE(client.Score("LOF", Subspace({0})).ok());
+}
+
+TEST_F(NetFaultTest, AcceptFaultDelaysButDoesNotDropConnections) {
+  StartServer();
+  FaultControl control;
+  FaultRule fail;
+  fail.limit = 3;  // The level-triggered listener re-signals until clear.
+  control.Arm(FaultPoint::kSocketAccept, fail);
+
+  ExplainClient client = MakeClient();
+  const ExplainClient::ScoreReply reply = client.Score("LOF", Subspace({1}));
+  ASSERT_TRUE(reply.ok()) << reply.error;
+}
+
+TEST_F(NetFaultTest, DeadlineExpiresInQueueBehindASlowRequest) {
+  StartServer(ExplainServerOptions{}, /*pool_threads=*/1, /*gated=*/true);
+
+  // A: no deadline, blocks the single pool thread on the gate.
+  std::thread slow([&] {
+    ExplainClient client = MakeClient();
+    EXPECT_TRUE(client.Score("LOF", Subspace({0})).ok());
+  });
+  ASSERT_TRUE(WaitFor([&] { return server_->stats().requests_admitted >= 1; }));
+
+  // B: 30 ms budget, admitted but stuck in the queue behind A.
+  ExplainClient::ScoreReply reply_b;
+  ClientStatsSnapshot stats_b;
+  std::thread expired([&] {
+    ExplainClientOptions options;
+    options.deadline_ms = 30;
+    ExplainClient client = MakeClient(options);
+    reply_b = client.Score("LOF", Subspace({1}));
+    stats_b = client.stats();
+  });
+  ASSERT_TRUE(WaitFor([&] { return server_->stats().requests_admitted >= 2; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  OpenGate();
+  slow.join();
+  expired.join();
+
+  EXPECT_EQ(reply_b.status, ClientStatus::kDeadlineExceeded) << reply_b.error;
+  EXPECT_EQ(stats_b.deadline_exceeded, 1u);
+  const ServerStatsSnapshot stats = server_->stats();
+  EXPECT_GE(stats.deadline_expired_queue, 1u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST_F(NetFaultTest, DeadlineExpiresDuringCompute) {
+  StartServer(ExplainServerOptions{}, /*pool_threads=*/1, /*gated=*/true);
+
+  ExplainClient::ScoreReply reply;
+  std::thread blocked([&] {
+    ExplainClientOptions options;
+    options.deadline_ms = 60;  // Survives the queue, dies in compute.
+    ExplainClient client = MakeClient(options);
+    reply = client.Score("LOF", Subspace({0}));
+  });
+  ASSERT_TRUE(WaitFor([&] { return server_->stats().requests_admitted >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  OpenGate();
+  blocked.join();
+
+  EXPECT_EQ(reply.status, ClientStatus::kDeadlineExceeded) << reply.error;
+  EXPECT_GE(server_->stats().deadline_expired_compute, 1u);
+}
+
+TEST_F(NetFaultTest, ExhaustedRetryBudgetSurfacesBusyImmediately) {
+  ExplainServerOptions options;
+  options.queue_capacity = 1;
+  StartServer(options, /*pool_threads=*/1, /*gated=*/true);
+
+  std::thread slow([&] {
+    ExplainClient client = MakeClient();
+    EXPECT_TRUE(client.Score("LOF", Subspace({0})).ok());
+  });
+  ASSERT_TRUE(WaitFor([&] { return server_->stats().requests_admitted >= 1; }));
+
+  ExplainClientOptions no_budget;
+  no_budget.retry_budget_initial = 0.0;
+  ExplainClient client = MakeClient(no_budget);
+  const ExplainClient::ScoreReply reply = client.Score("LOF", Subspace({1}));
+  EXPECT_EQ(reply.status, ClientStatus::kBusy);
+  const ClientStatsSnapshot stats = client.stats();
+  EXPECT_EQ(stats.retries_denied, 1u);
+  EXPECT_EQ(stats.busy_retries, 1u);  // The reply was seen...
+  EXPECT_EQ(stats.backoff_ns, 0u);    // ...but never slept on or retried.
+
+  OpenGate();
+  slow.join();
+}
+
+TEST_F(NetFaultTest, CircuitBreakerOpensFailsFastAndRecoversHalfOpen) {
+  StartServer();
+  ExplainClientOptions options;
+  options.breaker_failure_threshold = 2;
+  options.breaker_cooldown_ms = 100;
+  ExplainClient client = MakeClient(options);
+  ASSERT_TRUE(client.Score("LOF", Subspace({0})).ok());
+
+  // Failure 1: an injected send failure on the live connection.
+  {
+    FaultControl control;
+    FaultRule fail;
+    fail.limit = 1;
+    control.Arm(FaultPoint::kSocketWrite, fail);
+    EXPECT_EQ(client.Score("LOF", Subspace({0})).status,
+              ClientStatus::kTransportError);
+  }
+  // Failure 2: the torn connection (the client never reconnects on its
+  // own) — this trips the threshold and opens the breaker.
+  EXPECT_EQ(client.Score("LOF", Subspace({0})).status,
+            ClientStatus::kTransportError);
+  // Open: fail fast without touching the socket.
+  const ExplainClient::ScoreReply shorted = client.Score("LOF", Subspace({0}));
+  EXPECT_EQ(shorted.status, ClientStatus::kCircuitOpen);
+  {
+    const ClientStatsSnapshot stats = client.stats();
+    EXPECT_EQ(stats.circuit_opens, 1u);
+    EXPECT_EQ(stats.short_circuits, 1u);
+    EXPECT_EQ(stats.transport_errors, 2u);
+  }
+
+  // Past the cooldown, the next call is the half-open probe; with the
+  // connection re-established it succeeds and closes the breaker.
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), &error)) << error;
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_TRUE(client.Score("LOF", Subspace({0})).ok());
+  EXPECT_TRUE(client.Score("LOF", Subspace({0})).ok());
+  const ClientStatsSnapshot stats = client.stats();
+  EXPECT_EQ(stats.circuit_opens, 1u);   // It never re-opened.
+  EXPECT_EQ(stats.short_circuits, 1u);  // Only the one fast failure.
+}
+
+}  // namespace
+}  // namespace subex

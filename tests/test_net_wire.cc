@@ -551,6 +551,101 @@ TEST(ProtocolTest, ProfDumpRequestRejectsUnknownActionAndTrailingBytes) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Deadline header extension: deadline-less frames must stay byte-identical
+// to the old format (the flag lives on the version byte — the type byte's
+// high bit already belongs to the trace extension), stamped frames carry a
+// trailing u32, and the two optional fields compose.
+
+TEST(ProtocolTest, DeadlineStampedRequestGoldenBytes) {
+  ScoreRequest request;
+  request.detector = "LOF";
+  request.subspace = Subspace({0, 1});
+  const std::vector<std::uint8_t> payload = EncodeScoreRequest(
+      0x0102030405060708ull, request, /*trace_id=*/0, /*deadline_ms=*/0x1234);
+  const std::vector<std::uint8_t> golden = {
+      0x81,                                            // version | deadline
+      0x01,                                            // kScore, no trace
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // id (LE)
+      0x34, 0x12, 0x00, 0x00,                          // deadline_ms (LE)
+      0x03, 0x00, 0x00, 0x00, 'L', 'O', 'F',           // detector
+      0x02, 0x00,                                      // subspace size
+      0x00, 0x00, 0x00, 0x00,                          // feature 0
+      0x01, 0x00, 0x00, 0x00,                          // feature 1
+  };
+  EXPECT_EQ(payload, golden);
+
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_EQ(header.version, kProtocolVersion);  // Flag stripped on decode.
+  EXPECT_TRUE(header.has_deadline);
+  EXPECT_EQ(header.deadline_ms, 0x1234u);
+  EXPECT_FALSE(header.has_trace_id);
+  EXPECT_EQ(EncodedHeaderBytes(header), kMessageHeaderBytes + 4);
+  ScoreRequest back;
+  ASSERT_TRUE(DecodeScoreRequest(reader, &back));
+  EXPECT_EQ(back.detector, "LOF");
+}
+
+TEST(ProtocolTest, DeadlineZeroKeepsTheFrameByteIdenticalToOldClients) {
+  ScoreRequest request;
+  request.detector = "LOF";
+  request.subspace = Subspace({0, 1});
+  const std::vector<std::uint8_t> with =
+      EncodeScoreRequest(3, request, 0, /*deadline_ms=*/0);
+  const std::vector<std::uint8_t> without = EncodeScoreRequest(3, request);
+  EXPECT_EQ(with, without);
+  EXPECT_EQ(with[0], kProtocolVersion);
+  EXPECT_EQ(with[0] & kDeadlineFlag, 0);
+}
+
+TEST(ProtocolTest, TraceIdAndDeadlineComposeInOrder) {
+  constexpr std::uint64_t kTraceId = 0xfeedfacecafebeefULL;
+  const std::vector<std::uint8_t> payload =
+      EncodeStatsRequest(9, kTraceId, /*deadline_ms=*/250);
+  EXPECT_EQ(payload[0], kProtocolVersion | kDeadlineFlag);
+  EXPECT_EQ(payload[1],
+            static_cast<std::uint8_t>(MessageType::kStats) | kTraceIdFlag);
+
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_TRUE(header.has_trace_id);
+  EXPECT_EQ(header.trace_id, kTraceId);
+  EXPECT_TRUE(header.has_deadline);
+  EXPECT_EQ(header.deadline_ms, 250u);
+  EXPECT_EQ(EncodedHeaderBytes(header), kMessageHeaderBytes + 8 + 4);
+  EXPECT_TRUE(reader.AtEnd());  // Stats has an empty body.
+}
+
+TEST(ProtocolTest, TruncatedDeadlineHeaderFailsCleanly) {
+  std::vector<std::uint8_t> payload =
+      EncodeStatsRequest(9, /*trace_id=*/0, /*deadline_ms=*/250);
+  payload.resize(kMessageHeaderBytes + 2);  // Ends inside the deadline u32.
+  WireReader reader(payload);
+  MessageHeader header;
+  EXPECT_FALSE(DecodeHeader(reader, &header));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ProtocolTest, DeadlineExceededResponseGoldenBytes) {
+  const std::vector<std::uint8_t> payload = EncodeDeadlineExceeded(7);
+  const std::vector<std::uint8_t> golden = {
+      kProtocolVersion,
+      static_cast<std::uint8_t>(MessageType::kDeadlineExceeded),  // 102
+      7, 0, 0, 0, 0, 0, 0, 0,                                     // id
+  };
+  EXPECT_EQ(payload, golden);  // Empty body, like kBusy.
+
+  WireReader reader(payload);
+  MessageHeader header;
+  ASSERT_TRUE(DecodeHeader(reader, &header));
+  EXPECT_EQ(header.type, MessageType::kDeadlineExceeded);
+  EXPECT_EQ(header.request_id, 7u);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
 TEST(ProtocolTest, ProfDumpResultRoundTrip) {
   const std::vector<std::uint8_t> payload =
       EncodeProfDumpResult(7, ProfDumpResult{"main;Lof::Score 42\n"});

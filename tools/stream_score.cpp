@@ -43,6 +43,7 @@
 #include "detect/knn_distance.h"
 #include "detect/loda.h"
 #include "detect/lof.h"
+#include "fault/fault.h"
 #include "mem/eviction_manager.h"
 #include "obs/span_collector.h"
 #include "obs/trace.h"
@@ -139,6 +140,10 @@ double Checksum(const std::vector<double>& scores) {
 int main(int argc, char** argv) {
   Flags flags;
   if (!ParseFlags(argc, argv, &flags)) return Usage();
+
+  // Chaos opt-in: SUBEX_FAULT_SPEC / SUBEX_FAULT_SEED arm injection points
+  // process-wide. With the variables unset this is a no-op.
+  subex::FaultRegistry::Global().ConfigureFromEnv();
 
   subex::EvictionManager& manager = subex::EvictionManager::Global();
   manager.SetBudget(flags.budget_mb << 20);
